@@ -1,0 +1,30 @@
+//! Figure 10: transmit throughput as a function of the number of
+//! fast-path support routines implemented as upcalls instead of natively
+//! in the hypervisor. `netif_rx` is always native, so the X axis runs
+//! 0..=9 (paper: 3902 Mb/s at 0, 1638 at 1, down to 359 at 9).
+
+use twin_bench::{banner, packets, PAPER_FIG10_ENDPOINTS};
+use twindrivers::{throughput, Config, System, SystemOptions, TESTBED_NICS};
+
+fn main() {
+    banner(
+        "Figure 10 — Transmit throughput vs upcalls per driver invocation",
+        "3902 Mb/s at 0 upcalls, 1638 at 1, 359 at 9",
+    );
+    println!("{:>8} {:>12} {:>16} {:>14}", "upcalls", "Mb/s", "cycles/packet", "upcalls/pkt");
+    for n in 0..=9usize {
+        let opts = SystemOptions {
+            upcall_count: n,
+            ..SystemOptions::default()
+        };
+        let mut sys = System::build_with(Config::TwinDrivers, &opts).expect("build");
+        let b = sys.measure_tx(packets()).expect("measure");
+        let t = throughput(b.total(), TESTBED_NICS);
+        let upcalls = b.events.get("upcall").copied().unwrap_or(0) as f64 / b.packets as f64;
+        println!("{:>8} {:>12.0} {:>16.0} {:>14.2}", n, t.mbps, b.total(), upcalls);
+    }
+    println!();
+    for (n, mbps) in PAPER_FIG10_ENDPOINTS {
+        println!("  paper at {n} upcalls: {mbps:.0} Mb/s");
+    }
+}

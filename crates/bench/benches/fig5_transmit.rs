@@ -1,0 +1,26 @@
+//! Figure 5: transmit performance for the netperf benchmark.
+//!
+//! Regenerates the four bars (domU, domU-twin, dom0, Linux) as aggregate
+//! transmit throughput over five gigabit NICs, with CPU utilisation —
+//! the paper's Linux bar saturates the links at 76.9% CPU.
+
+use twin_bench::{banner, packets, row, PAPER_FIG5};
+use twin_workloads::{run_netperf, Direction};
+use twindrivers::Config;
+
+fn main() {
+    banner(
+        "Figure 5 — Transmit throughput (netperf, 5 x 1GbE)",
+        "domU 1619 / domU-twin 3902 / dom0 4683 / Linux 4690 Mb/s",
+    );
+    for (config, (label, paper)) in Config::ALL.into_iter().zip(PAPER_FIG5) {
+        let r = run_netperf(config, Direction::Transmit, packets()).expect("netperf run");
+        println!(
+            "{}   ({:5.1}% CPU)",
+            row(label, r.throughput.mbps, paper, "Mb/s"),
+            r.throughput.cpu_util * 100.0
+        );
+    }
+    println!();
+    println!("  (improvement domU-twin / domU should be ~2.4x in CPU-scaled units)");
+}

@@ -1,0 +1,22 @@
+//! Figure 6: receive performance for the netperf benchmark.
+
+use twin_bench::{banner, packets, row, PAPER_FIG6};
+use twin_workloads::{run_netperf, Direction};
+use twindrivers::Config;
+
+fn main() {
+    banner(
+        "Figure 6 — Receive throughput (netperf, 5 x 1GbE)",
+        "domU 928 / domU-twin 2022 / dom0 2839 / Linux 3010 Mb/s",
+    );
+    for (config, (label, paper)) in Config::ALL.into_iter().zip(PAPER_FIG6) {
+        let r = run_netperf(config, Direction::Receive, packets()).expect("netperf run");
+        println!(
+            "{}   ({:5.1}% CPU)",
+            row(label, r.throughput.mbps, paper, "Mb/s"),
+            r.throughput.cpu_util * 100.0
+        );
+    }
+    println!();
+    println!("  (improvement domU-twin / domU should be ~2.1x)");
+}

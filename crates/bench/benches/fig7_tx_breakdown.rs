@@ -1,0 +1,23 @@
+//! Figure 7: CPU cycles per packet for the transmit workload, broken
+//! down into the paper's four categories (dom0 / domU / Xen / e1000),
+//! profiled on a single NIC.
+
+use twin_bench::{banner, packets, PAPER_FIG7_TOTALS};
+use twindrivers::{Config, System};
+
+fn main() {
+    banner(
+        "Figure 7 — CPU cycles per packet, transmit (single NIC profile)",
+        "domU 21159 and domU-twin 9972 cycles/packet; rewritten driver \
+         2218 vs native 960; dom0 virtualisation tax 1184",
+    );
+    for config in Config::ALL {
+        let mut sys = System::build(config).expect("build");
+        let b = sys.measure_tx(packets()).expect("measure");
+        println!("{}", b.row(config.label()));
+    }
+    println!();
+    for (label, total) in PAPER_FIG7_TOTALS {
+        println!("  paper total for {label}: {total:.0} cycles/packet");
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 8: CPU cycles per packet for the receive workload, broken down
+//! into the paper's four categories; the dominant TwinDrivers receive
+//! cost is the hypervisor's copy into the guest (~3525 cycles/packet).
+
+use twin_bench::{banner, packets, PAPER_FIG8_TOTALS};
+use twindrivers::{Config, System};
+
+fn main() {
+    banner(
+        "Figure 8 — CPU cycles per packet, receive (single NIC profile)",
+        "domU 35905 / domU-twin 20089 / dom0 14308 / Linux 11166",
+    );
+    for config in Config::ALL {
+        let mut sys = System::build(config).expect("build");
+        let b = sys.measure_rx(packets()).expect("measure");
+        println!("{}", b.row(config.label()));
+    }
+    println!();
+    for (label, total) in PAPER_FIG8_TOTALS {
+        println!("  paper total for {label}: {total:.0} cycles/packet");
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the reproduction's own machinery:
+//! assembling and rewriting the e1000 driver, object encode/decode, SVM
+//! slow-path handling, and a full simulated packet on each system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use twin_isa::asm::assemble;
+use twin_rewriter::{rewrite, RewriteOptions};
+use twindrivers::{Config, System};
+
+fn bench_assemble(c: &mut Criterion) {
+    let src = twindrivers::kernel::e1000::source();
+    c.bench_function("assemble_e1000", |b| {
+        b.iter(|| assemble("e1000", &src).expect("assembles"))
+    });
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let src = twindrivers::kernel::e1000::source();
+    let module = assemble("e1000", &src).unwrap();
+    let opts = RewriteOptions::default();
+    c.bench_function("rewrite_e1000", |b| {
+        b.iter(|| rewrite(&module, &opts).expect("rewrites"))
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let src = twindrivers::kernel::e1000::source();
+    let module = assemble("e1000", &src).unwrap();
+    c.bench_function("encode_decode_e1000", |b| {
+        b.iter(|| {
+            let bytes = twin_isa::encode::encode(&module);
+            twin_isa::encode::decode(&bytes).expect("decodes")
+        })
+    });
+}
+
+fn bench_svm_slow_path(c: &mut Criterion) {
+    use twin_svm::Svm;
+    let mut m = twin_machine::Machine::new();
+    let dom0 = m.new_space();
+    m.map_fresh(dom0, 0x2000_0000, 64).unwrap();
+    let mut svm = Svm::new_hypervisor(&mut m, dom0, 0, (0, u64::MAX)).unwrap();
+    c.bench_function("svm_slow_path_hit", |b| {
+        // Steady-state: page already mapped, entry refill only.
+        svm.slow_path(&mut m, 0x2000_0000).unwrap();
+        b.iter(|| svm.slow_path(&mut m, 0x2000_0000).unwrap())
+    });
+}
+
+fn bench_packet_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_tx_packet");
+    group.sample_size(20);
+    for config in Config::ALL {
+        let mut sys = System::build(config).expect("build");
+        for _ in 0..8 {
+            sys.transmit_one().expect("warm");
+        }
+        group.bench_function(config.label(), |b| {
+            b.iter(|| {
+                sys.transmit_one().expect("tx");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_assemble,
+    bench_rewrite,
+    bench_encode,
+    bench_svm_slow_path,
+    bench_packet_paths
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Shared helpers and paper reference values for the per-figure bench
+//! harnesses in `benches/`.
+//!
+//! Each harness prints the same rows/series the paper's figure or table
+//! reports, side by side with the paper's published values, and writes
+//! nothing else — `cargo bench -p twin-bench` regenerates the entire
+//! evaluation section.
+
+/// Paper values for Figure 5 (transmit throughput, Mb/s):
+/// domU, domU-twin, dom0, Linux.
+pub const PAPER_FIG5: [(&str, f64); 4] = [
+    ("domU", 1619.0),
+    ("domU-twin", 3902.0),
+    ("dom0", 4683.0),
+    ("Linux", 4690.0),
+];
+
+/// Paper values for Figure 6 (receive throughput, Mb/s).
+pub const PAPER_FIG6: [(&str, f64); 4] = [
+    ("domU", 928.0),
+    ("domU-twin", 2022.0),
+    ("dom0", 2839.0),
+    ("Linux", 3010.0),
+];
+
+/// Paper values for Figure 7 (transmit cycles/packet, totals).
+pub const PAPER_FIG7_TOTALS: [(&str, f64); 2] = [("domU", 21159.0), ("domU-twin", 9972.0)];
+
+/// Paper values for Figure 8 (receive cycles/packet, totals).
+pub const PAPER_FIG8_TOTALS: [(&str, f64); 4] = [
+    ("domU", 35905.0),
+    ("domU-twin", 20089.0),
+    ("dom0", 14308.0),
+    ("Linux", 11166.0),
+];
+
+/// Paper values for Figure 9 (web server peak throughput, Mb/s).
+pub const PAPER_FIG9_PEAKS: [(&str, f64); 4] = [
+    ("Linux", 855.0),
+    ("dom0", 712.0),
+    ("domU-twin", 572.0),
+    ("domU", 269.0),
+];
+
+/// Paper values for Figure 10 (transmit throughput vs upcalls/invocation,
+/// Mb/s): only the endpoints are stated numerically in the text.
+pub const PAPER_FIG10_ENDPOINTS: [(usize, f64); 3] = [(0, 3902.0), (1, 1638.0), (9, 359.0)];
+
+/// Paper Table 1: the ten fast-path support routines with descriptions.
+pub const PAPER_TABLE1: [(&str, &str); 10] = [
+    ("netdev_alloc_skb", "allocate sk_buffs"),
+    ("dev_kfree_skb_any", "free sk_buffs"),
+    ("netif_rx", "receive network packets"),
+    ("dma_map_single", "map DMA buffer"),
+    ("dma_map_page", "map DMA page"),
+    ("dma_unmap_single", "unmap DMA buffer"),
+    ("dma_unmap_page", "unmap DMA page"),
+    ("spin_trylock", "acquire spinlock"),
+    ("spin_unlock_irqrestore", "release spinlock, restore interrupts"),
+    ("eth_type_trans", "process MAC header"),
+];
+
+/// Paper §6.5: lines of commented C for the ten hypervisor routines.
+pub const PAPER_EFFORT_LOC: usize = 851;
+
+/// Prints the standard harness banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!();
+    println!("================================================================");
+    println!("  {title}");
+    println!("  paper reference: {paper_ref}");
+    println!("================================================================");
+}
+
+/// Formats a measured-vs-paper row.
+pub fn row(label: &str, measured: f64, paper: f64, unit: &str) -> String {
+    format!(
+        "  {label:>10}  measured {measured:>9.0} {unit:<5} paper {paper:>8.0} {unit:<5} ratio {:.2}",
+        measured / paper
+    )
+}
+
+/// Number of packets per measurement in the figure harnesses.
+pub fn packets() -> u64 {
+    std::env::var("TWIN_BENCH_PACKETS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_tables_consistent() {
+        assert_eq!(PAPER_TABLE1.len(), 10);
+        assert_eq!(PAPER_FIG5.len(), PAPER_FIG6.len());
+        assert!(PAPER_FIG10_ENDPOINTS[0].1 > PAPER_FIG10_ENDPOINTS[1].1);
+    }
+
+    #[test]
+    fn row_formats() {
+        let r = row("Linux", 5000.0, 4690.0, "Mb/s");
+        assert!(r.contains("Linux"));
+        assert!(r.contains("1.07"));
+    }
+}

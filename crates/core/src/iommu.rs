@@ -1,0 +1,115 @@
+//! IOMMU extension (paper §4.5).
+//!
+//! The paper notes that a buggy or malicious driver "can set up illegal
+//! DMA transfers", a hole shared with the stock Xen driver-domain model,
+//! and that "a complete solution to this problem requires the use of an
+//! IOMMU that can be programmed to restrict the memory regions accessible
+//! from the network card". The paper does not build one; this module
+//! does, as the substitution-rule extension: a machine-frame allowlist
+//! checked when the driver rings the transmit doorbell.
+
+use std::collections::BTreeSet;
+use twin_machine::{Fault, Machine, SpaceId, PAGE_SIZE};
+use twin_nic::{regs, Nic, DESC_SIZE};
+
+/// A simple IOMMU: machine frames the NIC is allowed to DMA to/from.
+#[derive(Debug, Default)]
+pub struct Iommu {
+    allowed: BTreeSet<u64>,
+    /// DMA attempts blocked.
+    pub blocked: u64,
+}
+
+impl Iommu {
+    /// Creates an empty (deny-all) IOMMU.
+    pub fn new() -> Iommu {
+        Iommu::default()
+    }
+
+    /// Allows one machine frame.
+    pub fn allow_frame(&mut self, pfn: u64) {
+        self.allowed.insert(pfn);
+    }
+
+    /// Allows every frame currently mapped by an address space (e.g. all
+    /// of dom0's memory, or a guest's).
+    pub fn allow_space_frames(&mut self, m: &Machine, space: SpaceId) {
+        for (_va, entry) in m.space(space).iter() {
+            if matches!(entry.kind, twin_machine::PageKind::Ram) {
+                self.allowed.insert(entry.pfn);
+            }
+        }
+    }
+
+    /// Whether a machine address may be DMA-targeted.
+    pub fn frame_allowed(&self, machine_addr: u64) -> bool {
+        self.allowed.contains(&(machine_addr / PAGE_SIZE))
+    }
+
+    /// Validates every descriptor the driver just posted (TDH..new TDT)
+    /// before the doorbell reaches the device.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::EnvFault`] when a descriptor points outside the allowed
+    /// frames — the modeled IOMMU blocks the transfer.
+    pub fn check_tx_ring(&mut self, m: &Machine, nic: &mut Nic, new_tdt: u32) -> Result<(), Fault> {
+        let base = nic.mmio_read(regs::TDBAL) as u64;
+        let n = nic.tx_ring_len();
+        if n == 0 {
+            return Ok(());
+        }
+        let mut i = nic.mmio_read(regs::TDH);
+        while i != new_tdt % n {
+            let daddr = base + i as u64 * DESC_SIZE;
+            let buf = m.phys.read_u32(daddr) as u64;
+            if !self.frame_allowed(buf) {
+                self.blocked += 1;
+                return Err(Fault::EnvFault(format!(
+                    "iommu: DMA from disallowed machine address {buf:#x}"
+                )));
+            }
+            i = (i + 1) % n;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twin_net::MacAddr;
+
+    #[test]
+    fn allowlist_by_space() {
+        let mut m = Machine::new();
+        let s = m.new_space();
+        m.map_fresh(s, 0x2000_0000, 2).unwrap();
+        let mut io = Iommu::new();
+        io.allow_space_frames(&m, s);
+        let t = m
+            .translate(s, twin_machine::ExecMode::Guest, 0x2000_0000, false)
+            .unwrap();
+        assert!(io.frame_allowed(t.entry.pfn * PAGE_SIZE));
+        assert!(!io.frame_allowed(0x3FFF_F000));
+    }
+
+    #[test]
+    fn blocks_rogue_descriptor() {
+        let mut m = Machine::new();
+        let mut nic = Nic::new(0, MacAddr::for_guest(0));
+        // Build a TX ring at machine address 0x1000 with one descriptor
+        // pointing at a disallowed frame.
+        nic.mmio_write(&mut m.phys, regs::TDBAL, 0x1000);
+        nic.mmio_write(&mut m.phys, regs::TDLEN, 4 * DESC_SIZE as u32);
+        nic.mmio_write(&mut m.phys, regs::TCTL, 0x2);
+        m.phys.write_u32(0x1000, 0x0066_6000); // rogue buffer address
+        let mut io = Iommu::new();
+        let e = io.check_tx_ring(&m, &mut nic, 1).unwrap_err();
+        assert!(matches!(e, Fault::EnvFault(_)));
+        assert_eq!(io.blocked, 1);
+        // Allow it and the check passes.
+        io.allow_frame(0x0066_6000 / PAGE_SIZE);
+        assert!(io.check_tx_ring(&m, &mut nic, 1).is_ok());
+    }
+}

@@ -1,0 +1,134 @@
+//! Measurement primitives: per-packet cycle breakdowns and the
+//! cycles-to-throughput conversion used by every figure harness.
+
+use std::collections::BTreeMap;
+use twin_machine::{CostDomain, CycleMeter};
+use twin_net::{wire_bits, MTU};
+
+/// Modeled CPU frequency — the paper's 3.0 GHz Xeon.
+pub const CPU_HZ: f64 = 3.0e9;
+
+/// Number of gigabit NICs in the paper's testbed.
+pub const TESTBED_NICS: u32 = 5;
+
+/// Per-packet cycle breakdown in the paper's four categories
+/// (Figures 7 and 8).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    /// Cycles per packet per category.
+    pub per_domain: BTreeMap<CostDomain, f64>,
+    /// Packets measured.
+    pub packets: u64,
+    /// Selected event counts (total, not per packet).
+    pub events: BTreeMap<&'static str, u64>,
+}
+
+impl Breakdown {
+    /// Builds a breakdown from meter deltas over `packets` packets.
+    pub fn from_meter(meter: &CycleMeter, packets: u64) -> Breakdown {
+        let mut per_domain = BTreeMap::new();
+        for d in CostDomain::ALL {
+            per_domain.insert(d, meter.cycles(d) as f64 / packets.max(1) as f64);
+        }
+        Breakdown {
+            per_domain,
+            packets,
+            events: meter.events().clone(),
+        }
+    }
+
+    /// Cycles per packet for one category.
+    pub fn cycles(&self, d: CostDomain) -> f64 {
+        self.per_domain.get(&d).copied().unwrap_or(0.0)
+    }
+
+    /// Total cycles per packet.
+    pub fn total(&self) -> f64 {
+        self.per_domain.values().sum()
+    }
+
+    /// Renders one figure-style row: `label total dom0 domU Xen e1000`.
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{label:>10}  total {:>8.0}   dom0 {:>8.0}   domU {:>8.0}   Xen {:>8.0}   e1000 {:>8.0}",
+            self.total(),
+            self.cycles(CostDomain::Dom0),
+            self.cycles(CostDomain::DomU),
+            self.cycles(CostDomain::Xen),
+            self.cycles(CostDomain::Driver),
+        )
+    }
+}
+
+/// Result of converting a per-packet cost into netperf-style throughput.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Throughput {
+    /// Achieved throughput in Mb/s.
+    pub mbps: f64,
+    /// CPU utilisation in [0, 1] (1.0 = saturated).
+    pub cpu_util: f64,
+}
+
+/// Converts cycles/packet into aggregate TCP throughput over `nics`
+/// gigabit links, netperf style: the CPU processes packets at
+/// `CPU_HZ / cpp`; throughput is link-limited or CPU-limited, whichever
+/// binds first (this is how the paper's Linux transmit saturates 5 NICs
+/// at 76.9% CPU while every Xen configuration is CPU-bound).
+pub fn throughput(cpp: f64, nics: u32) -> Throughput {
+    let bits = wire_bits(MTU) as f64;
+    let link_mbps = nics as f64 * 1000.0;
+    let cpu_pps = CPU_HZ / cpp.max(1.0);
+    let cpu_mbps = cpu_pps * bits / 1e6;
+    if cpu_mbps >= link_mbps {
+        Throughput {
+            mbps: link_mbps,
+            cpu_util: link_mbps / cpu_mbps,
+        }
+    } else {
+        Throughput {
+            mbps: cpu_mbps,
+            cpu_util: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_bound_vs_link_bound() {
+        // Very cheap packets: link-bound, low CPU.
+        let t = throughput(1000.0, 5);
+        assert_eq!(t.mbps, 5000.0);
+        assert!(t.cpu_util < 0.2);
+        // Expensive packets: CPU-bound.
+        let t = throughput(30_000.0, 5);
+        assert!(t.mbps < 5000.0);
+        assert_eq!(t.cpu_util, 1.0);
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // ~9972 cycles/packet (domU-twin TX) should land in the high
+        // 3000s of Mb/s, like the paper's 3902.
+        let t = throughput(9972.0, 5);
+        assert!((3000.0..4800.0).contains(&t.mbps), "{}", t.mbps);
+        // ~21159 (baseline domU) lands near 1619.
+        let t = throughput(21159.0, 5);
+        assert!((1400.0..2100.0).contains(&t.mbps), "{}", t.mbps);
+    }
+
+    #[test]
+    fn breakdown_row_mentions_categories() {
+        let mut m = CycleMeter::new();
+        m.charge_to(CostDomain::Xen, 500);
+        m.charge_to(CostDomain::Driver, 100);
+        let b = Breakdown::from_meter(&m, 10);
+        assert_eq!(b.cycles(CostDomain::Xen), 50.0);
+        assert_eq!(b.total(), 60.0);
+        let row = b.row("test");
+        assert!(row.contains("Xen"));
+        assert!(row.contains("e1000"));
+    }
+}

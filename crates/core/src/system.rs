@@ -1,0 +1,938 @@
+//! The four measured systems (paper §6.1) and the TwinDrivers derivation
+//! pipeline that builds the fourth.
+//!
+//! * [`Config::NativeLinux`] — driver in the bare kernel;
+//! * [`Config::XenDom0`] — driver in dom0 on Xen (virtualisation tax, no
+//!   per-packet domain switches for its own traffic);
+//! * [`Config::XenGuest`] — the baseline "hosted" path: guest netfront →
+//!   I/O channel (grants, copies, domain switches) → netback → bridge →
+//!   dom0 driver (paper §2, Figure 1);
+//! * [`Config::TwinDrivers`] — guest paravirtual driver → hypercall →
+//!   **rewritten driver running in the hypervisor** via SVM → NIC
+//!   (paper Figure 2).
+//!
+//! Driver code always executes instruction-by-instruction on the
+//! simulated machine; everything around it (stack, hypervisor, backend)
+//! is charged from the calibrated cost model. Cycle attribution follows
+//! the paper's four categories.
+
+use crate::iommu::Iommu;
+use crate::measure::Breakdown;
+use std::error::Error;
+use std::fmt;
+use twin_isa::asm::assemble;
+use twin_kernel::{
+    call_function, e1000, load_driver, Dom0Kernel, LoadedDriver, RxMode, SkBuff, MMIO_BASE,
+};
+use twin_machine::{
+    CostDomain, Cpu, Env, ExecMode, Fault, Machine, PageEntry, SpaceId, PAGE_SIZE,
+};
+use twin_net::{EtherType, Frame, MacAddr, MTU};
+use twin_nic::{Nic, MMIO_WINDOW};
+use twin_rewriter::{rewrite, RewriteOptions, RewriteStats};
+use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
+pub use twin_xen::DomId;
+use twin_xen::{
+    load_hypervisor_driver, HyperSupport, HypervisorDriver, Softirq, Xen, HYP_CODE_BASE,
+    UPCALL_STACK_BASE, UPCALL_STACK_PAGES,
+};
+
+/// Code base of the VM driver instance in dom0.
+pub const VM_CODE_BASE: u64 = 0x0800_0000;
+
+/// Data base of the driver in dom0. Staggered against the heap base so
+/// the hot adapter page does not share an stlb index with hot heap pages
+/// (the stlb is direct-mapped on bits 12..24).
+pub const DRIVER_DATA_BASE: u64 = 0x2815_0000;
+
+/// Identity stlb table placement (VM instance, paper §5.1.2).
+pub const IDENTITY_STLB_BASE: u64 = 0x2f00_0000;
+
+/// Guest heap base (paravirtual driver buffers).
+pub const GUEST_HEAP_BASE: u64 = 0x4000_0000;
+
+/// MAC address of the external traffic peer (the "client machines").
+pub fn peer_mac() -> MacAddr {
+    MacAddr::for_guest(1000)
+}
+
+/// Which system is being measured.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Config {
+    /// Native Linux ("Linux").
+    NativeLinux,
+    /// Driver domain on Xen ("dom0").
+    XenDom0,
+    /// Unoptimised Xen guest ("domU").
+    XenGuest,
+    /// TwinDrivers guest ("domU-twin").
+    TwinDrivers,
+}
+
+impl Config {
+    /// All four, in the paper's bar order.
+    pub const ALL: [Config; 4] = [
+        Config::XenGuest,
+        Config::TwinDrivers,
+        Config::XenDom0,
+        Config::NativeLinux,
+    ];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::NativeLinux => "Linux",
+            Config::XenDom0 => "dom0",
+            Config::XenGuest => "domU",
+            Config::TwinDrivers => "domU-twin",
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Options for building a [`System`].
+#[derive(Clone, Debug)]
+pub struct SystemOptions {
+    /// Rewriter configuration (TwinDrivers only).
+    pub rewrite: RewriteOptions,
+    /// Number of fast-path routines forced onto the upcall path
+    /// (Figure 10; 0 = the paper's best configuration).
+    pub upcall_count: usize,
+    /// Bytes of the guest packet copied into the dom0 sk_buff header on
+    /// transmit (paper §5.3 uses "up to the first 96 bytes").
+    pub header_copy_bytes: u32,
+    /// Enable the IOMMU extension (paper §4.5 proposes it as the fix for
+    /// DMA attacks; not in the paper's implementation).
+    pub iommu: bool,
+    /// sk_buff pool sizes.
+    pub pool_size: usize,
+    /// Alternative driver assembly source (fault-injection experiments);
+    /// `None` uses the stock e1000 driver.
+    pub driver_source: Option<String>,
+}
+
+impl Default for SystemOptions {
+    fn default() -> SystemOptions {
+        SystemOptions {
+            rewrite: RewriteOptions::default(),
+            upcall_count: 0,
+            header_copy_bytes: 96,
+            iommu: false,
+            pool_size: 1024,
+            driver_source: None,
+        }
+    }
+}
+
+/// Errors surfaced by system construction or packet operations.
+#[derive(Debug)]
+pub enum SystemError {
+    /// Machine fault (outside the hypervisor driver).
+    Fault(Fault),
+    /// The hypervisor driver was aborted (SVM caught an illegal access,
+    /// watchdog fired, …). The hypervisor itself keeps running.
+    DriverAborted(String),
+    /// Driver assembly/rewriting/loading failed.
+    Build(String),
+    /// The NIC receive ring had no buffers.
+    RxRingFull,
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Fault(e) => write!(f, "machine fault: {e}"),
+            SystemError::DriverAborted(r) => write!(f, "hypervisor driver aborted: {r}"),
+            SystemError::Build(r) => write!(f, "system build failed: {r}"),
+            SystemError::RxRingFull => write!(f, "receive ring out of buffers"),
+        }
+    }
+}
+
+impl Error for SystemError {}
+
+impl From<Fault> for SystemError {
+    fn from(e: Fault) -> SystemError {
+        SystemError::Fault(e)
+    }
+}
+
+/// The mutable environment: dom0 kernel, devices, hypervisor pieces.
+/// Implements [`Env`]; extern dispatch is selected by the executing
+/// privilege mode, which is equivalent to the paper's per-instance symbol
+/// resolution (§5.2).
+#[derive(Debug)]
+pub struct World {
+    /// The dom0 kernel model.
+    pub kernel: Dom0Kernel,
+    /// NIC device models.
+    pub nics: Vec<Nic>,
+    /// The hypervisor (absent for native Linux).
+    pub xen: Option<Xen>,
+    /// Hypervisor support routines + upcalls (TwinDrivers only).
+    pub hyper: Option<HyperSupport>,
+    /// Identity SVM for the VM instance of the rewritten driver.
+    pub svm_vm: Option<Svm>,
+    /// Hypervisor SVM for the hypervisor instance.
+    pub svm_hyp: Option<Svm>,
+    /// Optional IOMMU (extension).
+    pub iommu: Option<Iommu>,
+}
+
+impl Env for World {
+    fn extern_call(&mut self, name: &str, m: &mut Machine, cpu: &mut Cpu) -> Result<(), Fault> {
+        if cpu.mode == ExecMode::Hypervisor {
+            if let (Some(hyper), Some(xen), Some(svm)) =
+                (self.hyper.as_mut(), self.xen.as_mut(), self.svm_hyp.as_mut())
+            {
+                if let Some(r) = hyper.handle_extern(name, m, cpu, &mut self.kernel, xen, svm) {
+                    return r;
+                }
+            }
+            return Err(Fault::UnknownExtern(name.to_string()));
+        }
+        // Guest mode: dom0 context. The VM instance of a rewritten driver
+        // resolves the SVM helpers to the identity table (paper §5.1.2).
+        match name {
+            SLOW_PATH_SYMBOL => {
+                let svm = self
+                    .svm_vm
+                    .as_mut()
+                    .ok_or_else(|| Fault::UnknownExtern(name.to_string()))?;
+                let addr = cpu.arg(m, 0)? as u64;
+                svm.slow_path(m, addr)?;
+                Ok(())
+            }
+            CALL_XLAT_SYMBOL => {
+                let svm = self
+                    .svm_vm
+                    .as_mut()
+                    .ok_or_else(|| Fault::UnknownExtern(name.to_string()))?;
+                let t = cpu.arg(m, 0)? as u64;
+                let x = svm.translate_call(m, t)?;
+                cpu.set_reg(twin_isa::Reg::Eax, x as u32);
+                Ok(())
+            }
+            twin_rewriter::STACK_CHECK_SYMBOL => Ok(()),
+            _ => match self.kernel.handle_extern(name, m, cpu) {
+                Some(r) => r,
+                None => Err(Fault::UnknownExtern(name.to_string())),
+            },
+        }
+    }
+
+    fn mmio_read(
+        &mut self,
+        _m: &mut Machine,
+        dev: u32,
+        offset: u64,
+        _w: twin_isa::Width,
+    ) -> Result<u32, Fault> {
+        Ok(self.nics[dev as usize].mmio_read(offset))
+    }
+
+    fn mmio_write(
+        &mut self,
+        m: &mut Machine,
+        dev: u32,
+        offset: u64,
+        _w: twin_isa::Width,
+        val: u32,
+    ) -> Result<(), Fault> {
+        if offset == twin_nic::regs::TDT {
+            if let Some(iommu) = &mut self.iommu {
+                iommu.check_tx_ring(m, &mut self.nics[dev as usize], val)?;
+            }
+        }
+        self.nics[dev as usize].mmio_write(&mut m.phys, offset, val);
+        Ok(())
+    }
+}
+
+/// One fully constructed, measurable system.
+#[derive(Debug)]
+pub struct System {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// Kernel, devices and hypervisor pieces.
+    pub world: World,
+    /// Which configuration this is.
+    pub config: Config,
+    /// The dom0 / native driver instance.
+    pub driver: LoadedDriver,
+    /// The derived hypervisor driver (TwinDrivers only).
+    pub hyperdrv: Option<HypervisorDriver>,
+    /// Rewrite statistics (TwinDrivers only).
+    pub rewrite_stats: Option<RewriteStats>,
+    /// net_device pointer.
+    pub netdev: u64,
+    /// The measured guest (guest configurations).
+    pub guest: Option<DomId>,
+    dom0: SpaceId,
+    dom0_stack_top: u64,
+    guest_tx_frag: u64,
+    header_copy: u32,
+    seq: u64,
+}
+
+impl System {
+    /// Builds a system in the given configuration with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Build`] when the driver cannot be
+    /// assembled, rewritten or loaded.
+    pub fn build(config: Config) -> Result<System, SystemError> {
+        System::build_with(config, &SystemOptions::default())
+    }
+
+    /// Builds a system with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::build`].
+    pub fn build_with(config: Config, opts: &SystemOptions) -> Result<System, SystemError> {
+        let source = opts
+            .driver_source
+            .clone()
+            .unwrap_or_else(e1000::source);
+        let module =
+            assemble("e1000", &source).map_err(|e| SystemError::Build(e.to_string()))?;
+
+        let mut machine = Machine::new();
+        let dom0 = machine.new_space();
+        for p in 0..(MMIO_WINDOW / PAGE_SIZE) {
+            machine
+                .space_mut(dom0)
+                .map(MMIO_BASE + p * PAGE_SIZE, PageEntry::mmio(0, p));
+        }
+        machine.map_stack(dom0, twin_kernel::DOM0_STACK_BASE, twin_kernel::DOM0_STACK_PAGES)?;
+        let dom0_stack_top =
+            twin_kernel::DOM0_STACK_BASE + twin_kernel::DOM0_STACK_PAGES * PAGE_SIZE;
+        let kernel = Dom0Kernel::new(&mut machine, dom0, opts.pool_size)?;
+        let nic = Nic::new(0, MacAddr::for_guest(0));
+
+        let mut world = World {
+            kernel,
+            nics: vec![nic],
+            xen: None,
+            hyper: None,
+            svm_vm: None,
+            svm_hyp: None,
+            iommu: None,
+        };
+
+        // Xen present for everything but native Linux.
+        if config != Config::NativeLinux {
+            world.xen = Some(Xen::new(dom0));
+        }
+
+        // The driver module: original for the baselines, rewritten for
+        // TwinDrivers (the same rewritten binary serves both instances,
+        // paper §5.1.2).
+        let (drv_module, rewrite_stats) = if config == Config::TwinDrivers {
+            let out = rewrite(&module, &opts.rewrite)
+                .map_err(|e| SystemError::Build(e.to_string()))?;
+            (out.module, Some(out.stats))
+        } else {
+            (module, None)
+        };
+
+        if config == Config::TwinDrivers {
+            world.svm_vm = Some(Svm::new_identity(&mut machine, dom0, IDENTITY_STLB_BASE)?);
+        }
+
+        let identity_base = world.svm_vm.as_ref().map(|s| s.placement().base);
+        let driver = load_driver(
+            &mut machine,
+            dom0,
+            &drv_module,
+            VM_CODE_BASE,
+            DRIVER_DATA_BASE,
+            |name| {
+                if name == twin_svm::STLB_SYMBOL {
+                    identity_base
+                } else {
+                    None
+                }
+            },
+        )
+        .map_err(|e| SystemError::Build(e.to_string()))?;
+
+        let mut sys = System {
+            machine,
+            world,
+            config,
+            driver,
+            hyperdrv: None,
+            rewrite_stats,
+            netdev: 0,
+            guest: None,
+            dom0,
+            dom0_stack_top,
+            guest_tx_frag: 0,
+            header_copy: opts.header_copy_bytes.clamp(26, 1024),
+            seq: 0,
+        };
+
+        // Initialise the VM instance in dom0 (paper §3.1: "we first load
+        // the VM driver into the dom0 kernel where it performs the
+        // initialization of the NIC and the driver data structures").
+        sys.call_dom0(sys.driver.entry("e1000_probe").unwrap(), &[0], 50_000_000)?;
+        sys.netdev = sys.world.kernel.registered_netdevs[0];
+        let open = sys.driver.entry("e1000_open").unwrap();
+        let netdev32 = sys.netdev as u32;
+        sys.call_dom0(open, &[netdev32], 200_000_000)?;
+
+        // Guest domain for the guest configurations.
+        if matches!(config, Config::XenGuest | Config::TwinDrivers) {
+            let gspace = sys.machine.new_space();
+            let gid = sys
+                .world
+                .xen
+                .as_mut()
+                .expect("xen present")
+                .add_guest(gspace, MacAddr::for_guest(1));
+            sys.guest = Some(gid);
+            // The measured workload runs in the guest, so that is who is
+            // on the CPU between packets.
+            sys.world.xen.as_mut().unwrap().current = gid;
+            // One guest payload page whose machine address the TX glue
+            // chains as an sk_buff fragment (paper §5.3).
+            sys.machine.map_fresh(gspace, GUEST_HEAP_BASE, 4)?;
+            let t = sys
+                .machine
+                .translate(gspace, ExecMode::Guest, GUEST_HEAP_BASE, false)?;
+            sys.guest_tx_frag = t.entry.pfn * PAGE_SIZE;
+        }
+
+        // TwinDrivers: derive and load the hypervisor instance.
+        if config == Config::TwinDrivers {
+            sys.world.kernel.reserve_hypervisor_pool(&mut sys.machine, 512)?;
+            let mut svm = Svm::new_hypervisor(&mut sys.machine, dom0, 0, (0, u64::MAX))?;
+            let hyp = load_hypervisor_driver(
+                &mut sys.machine,
+                &drv_module,
+                &sys.driver,
+                svm.placement().base,
+            )
+            .map_err(|e| SystemError::Build(e.to_string()))?;
+            svm.set_code_mapping(
+                (HYP_CODE_BASE - VM_CODE_BASE) as i64,
+                hyp.code_range(),
+            );
+            sys.world.svm_hyp = Some(svm);
+            let mut hs = HyperSupport::new();
+            hs.set_upcall_count(opts.upcall_count);
+            sys.world.hyper = Some(hs);
+            sys.hyperdrv = Some(hyp);
+            if opts.iommu {
+                let mut iommu = Iommu::new();
+                iommu.allow_space_frames(&sys.machine, dom0);
+                if let Some(gid) = sys.guest {
+                    let gspace = sys.world.xen.as_ref().unwrap().domain(gid).space;
+                    iommu.allow_space_frames(&sys.machine, gspace);
+                }
+                sys.world.iommu = Some(iommu);
+            }
+        }
+
+        // Baseline guest path: dom0 bridges instead of consuming locally.
+        if config == Config::XenGuest {
+            sys.world.kernel.rx_mode = RxMode::Bridge;
+        }
+
+        Ok(sys)
+    }
+
+    /// Runs a function of the dom0/native driver instance.
+    fn call_dom0(&mut self, entry: u64, args: &[u32], budget: u64) -> Result<u32, SystemError> {
+        call_function(
+            &mut self.machine,
+            &mut self.world,
+            self.dom0,
+            ExecMode::Guest,
+            self.dom0_stack_top,
+            entry,
+            args,
+            budget,
+        )
+        .map_err(SystemError::Fault)
+    }
+
+    /// Runs a function of the hypervisor driver instance, from the guest
+    /// context, in hypervisor mode — no address-space switch, the core of
+    /// the paper's performance claim.
+    fn call_hyperdrv(&mut self, entry: u64, args: &[u32], budget: u64) -> Result<u32, SystemError> {
+        let hyp = self.hyperdrv.as_ref().expect("hypervisor driver");
+        if let Some(reason) = &hyp.aborted {
+            return Err(SystemError::DriverAborted(reason.clone()));
+        }
+        let gid = self.guest.expect("guest");
+        let gspace = self.world.xen.as_ref().unwrap().domain(gid).space;
+        let stack_top = hyp.stack_top;
+        let r = call_function(
+            &mut self.machine,
+            &mut self.world,
+            gspace,
+            ExecMode::Hypervisor,
+            stack_top,
+            entry,
+            args,
+            budget,
+        );
+        match r {
+            Ok(v) => Ok(v),
+            Err(fault) => {
+                // SVM caught something (or the watchdog fired): abort the
+                // driver; the hypervisor itself survives (paper §4.5).
+                let reason = twin_xen::hyperdrv::abort_reason_for(&fault);
+                self.hyperdrv.as_mut().unwrap().abort(reason.clone());
+                self.machine.meter.count_event("driver_abort");
+                Err(SystemError::DriverAborted(reason))
+            }
+        }
+    }
+
+    /// Calls a hypervisor support routine directly (the paravirtual glue
+    /// uses this for buffer management, so forced upcalls are exercised —
+    /// Figure 10).
+    fn call_support(&mut self, name: &str, args: &[u32]) -> Result<u32, SystemError> {
+        let gid = self.guest.expect("guest");
+        let gspace = self.world.xen.as_ref().unwrap().domain(gid).space;
+        let mut cpu = Cpu::new(gspace, ExecMode::Hypervisor);
+        cpu.set_stack(UPCALL_STACK_BASE + UPCALL_STACK_PAGES * PAGE_SIZE);
+        cpu.push_call_frame(&mut self.machine, args)?;
+        self.world.extern_call(name, &mut self.machine, &mut cpu)?;
+        Ok(cpu.reg(twin_isa::Reg::Eax))
+    }
+
+    fn next_tx_frame(&mut self) -> Frame {
+        let src = match self.config {
+            Config::XenGuest | Config::TwinDrivers => MacAddr::for_guest(1),
+            _ => MacAddr::for_guest(0),
+        };
+        let f = Frame {
+            dst: peer_mac(),
+            src,
+            ethertype: EtherType::Ipv4,
+            payload_len: MTU,
+            flow: 1,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        f
+    }
+
+    fn next_rx_frame(&mut self) -> Frame {
+        let dst = match self.config {
+            Config::XenGuest | Config::TwinDrivers => MacAddr::for_guest(1),
+            _ => MacAddr::for_guest(0),
+        };
+        let f = Frame {
+            dst,
+            src: peer_mac(),
+            ethertype: EtherType::Ipv4,
+            payload_len: MTU,
+            flow: 2,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        f
+    }
+
+    /// Transmits one MTU-sized packet along the configuration's full
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults; [`SystemError::DriverAborted`] if the
+    /// hypervisor driver is dead.
+    pub fn transmit_one(&mut self) -> Result<(), SystemError> {
+        let frame = self.next_tx_frame();
+        match self.config {
+            Config::NativeLinux => self.tx_dom0_style(&frame, false),
+            Config::XenDom0 => self.tx_dom0_style(&frame, true),
+            Config::XenGuest => self.tx_baseline_guest(&frame),
+            Config::TwinDrivers => self.tx_twin(&frame),
+        }
+    }
+
+    /// Native Linux / dom0 transmit: stack → driver.
+    fn tx_dom0_style(&mut self, frame: &Frame, on_xen: bool) -> Result<(), SystemError> {
+        let m = &mut self.machine;
+        // Socket + TCP/IP transmit processing.
+        m.meter.charge_to(CostDomain::Dom0, m.cost.tcp_tx_per_packet);
+        m.meter.charge_to(CostDomain::Dom0, m.cost.skb_alloc);
+        if on_xen {
+            // Paravirtualisation tax (pte maintenance, event checks).
+            m.meter
+                .charge_to(CostDomain::Xen, m.cost.paravirt_tax_per_packet);
+        }
+        let skb = self
+            .world
+            .kernel
+            .pool
+            .alloc(&mut self.machine, self.dom0)
+            .ok_or(SystemError::Build("dom0 skb pool empty".into()))?;
+        skb.fill_from_frame(&mut self.machine, self.dom0, frame)?;
+        let xmit = self.driver.entry("e1000_xmit_frame").unwrap();
+        self.machine.meter.push_domain(CostDomain::Driver);
+        let r = self.call_dom0(xmit, &[skb.0 as u32, self.netdev as u32], 2_000_000);
+        self.machine.meter.pop_domain();
+        let busy = r?;
+        if busy != 0 {
+            self.world.kernel.free_skb(&self.machine, skb)?;
+        }
+        Ok(())
+    }
+
+    /// Baseline Xen guest transmit (paper §2): netfront → I/O channel →
+    /// netback → bridge → dom0 driver.
+    fn tx_baseline_guest(&mut self, frame: &Frame) -> Result<(), SystemError> {
+        let gid = self.guest.expect("guest");
+        {
+            let m = &mut self.machine;
+            // Guest stack + netfront request production.
+            m.meter.charge_to(CostDomain::DomU, m.cost.tcp_tx_per_packet);
+            m.meter
+                .charge_to(CostDomain::DomU, m.cost.netfront_per_packet);
+        }
+        let xen = self.world.xen.as_mut().expect("xen");
+        // Notify + switch into the driver domain.
+        xen.hypercall(&mut self.machine);
+        xen.send_virq(&mut self.machine, DomId::DOM0, 1);
+        xen.switch_to(&mut self.machine, DomId::DOM0);
+        // netback: map the granted guest page, build an skb, bridge it.
+        let xen = self.world.xen.as_mut().unwrap();
+        xen.grant_map(&mut self.machine);
+        {
+            let m = &mut self.machine;
+            m.meter
+                .charge_to(CostDomain::Dom0, m.cost.netfront_per_packet);
+            m.meter
+                .charge_to(CostDomain::Dom0, m.cost.bridge_per_packet);
+            m.meter
+                .charge_to(CostDomain::Dom0, m.cost.backend_tx_extra);
+        }
+        let skb = self
+            .world
+            .kernel
+            .pool
+            .alloc(&mut self.machine, self.dom0)
+            .ok_or(SystemError::Build("dom0 skb pool empty".into()))?;
+        skb.fill_from_frame(&mut self.machine, self.dom0, frame)?;
+        let xmit = self.driver.entry("e1000_xmit_frame").unwrap();
+        self.machine.meter.push_domain(CostDomain::Driver);
+        let r = self.call_dom0(xmit, &[skb.0 as u32, self.netdev as u32], 2_000_000);
+        self.machine.meter.pop_domain();
+        let busy = r?;
+        if busy != 0 {
+            self.world.kernel.free_skb(&self.machine, skb)?;
+        }
+        // Unmap, produce the response, switch back to the guest.
+        let xen = self.world.xen.as_mut().unwrap();
+        xen.grant_unmap(&mut self.machine);
+        xen.send_virq(&mut self.machine, gid, 2);
+        xen.switch_to(&mut self.machine, gid);
+        Ok(())
+    }
+
+    /// TwinDrivers transmit (paper §5.3): paravirtual driver hypercall →
+    /// hypervisor glue (dom0 skb + guest-page fragment) → hypervisor
+    /// driver instance, all without leaving the guest context.
+    fn tx_twin(&mut self, frame: &Frame) -> Result<(), SystemError> {
+        let header_copy = self.header_copy.min(frame.len());
+        {
+            let m = &mut self.machine;
+            // Guest stack + paravirtual driver.
+            m.meter.charge_to(CostDomain::DomU, m.cost.tcp_tx_per_packet);
+            m.meter.charge_to(CostDomain::DomU, m.cost.pv_driver_guest);
+        }
+        let xen = self.world.xen.as_mut().expect("xen");
+        xen.hypercall(&mut self.machine);
+        {
+            let m = &mut self.machine;
+            m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_tx);
+        }
+        // Acquire a pre-allocated dom0 sk_buff through the (possibly
+        // upcalled) support routine.
+        let skb = SkBuff(self.call_support("netdev_alloc_skb", &[self.netdev as u32, 2048])? as u64);
+        if skb.0 == 0 {
+            return Err(SystemError::Build("hypervisor skb pool empty".into()));
+        }
+        // Copy the packet header into the sk_buff and chain the rest of
+        // the guest packet as a page fragment.
+        {
+            let m = &mut self.machine;
+            let c = m.cost.copy_cycles(header_copy as u64);
+            m.meter.charge_to(CostDomain::Xen, c);
+        }
+        skb.fill_from_frame(&mut self.machine, self.dom0, frame)?;
+        skb.set_len(&mut self.machine, self.dom0, header_copy)?;
+        skb.set_frag(
+            &mut self.machine,
+            self.dom0,
+            self.guest_tx_frag,
+            frame.len() - header_copy,
+        )?;
+        let xmit = self
+            .hyperdrv
+            .as_ref()
+            .unwrap()
+            .entry("e1000_xmit_frame")
+            .unwrap();
+        self.machine.meter.push_domain(CostDomain::Driver);
+        let r = self.call_hyperdrv(xmit, &[skb.0 as u32, self.netdev as u32], 2_000_000);
+        self.machine.meter.pop_domain();
+        let busy = r?;
+        if busy != 0 {
+            self.world.kernel.free_skb(&self.machine, skb)?;
+        }
+        Ok(())
+    }
+
+    /// Receives one MTU-sized packet along the configuration's full path
+    /// (wire → NIC → interrupt → stack/guest).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::RxRingFull`] if the driver has not replenished
+    /// buffers; otherwise propagates faults.
+    pub fn receive_one(&mut self) -> Result<(), SystemError> {
+        let frame = self.next_rx_frame();
+        self.receive_frame(&frame)
+    }
+
+    /// Injects an arbitrary frame from the wire and runs the
+    /// configuration's receive path (used for multi-guest demultiplexing
+    /// experiments).
+    ///
+    /// # Errors
+    ///
+    /// See [`System::receive_one`].
+    pub fn receive_frame(&mut self, frame: &Frame) -> Result<(), SystemError> {
+        if !self.world.nics[0].deliver(&mut self.machine.phys, frame) {
+            return Err(SystemError::RxRingFull);
+        }
+        match self.config {
+            Config::NativeLinux => self.rx_dom0_style(false),
+            Config::XenDom0 => self.rx_dom0_style(true),
+            Config::XenGuest => self.rx_baseline_guest(),
+            Config::TwinDrivers => self.rx_twin(),
+        }
+    }
+
+    /// Adds another guest domain (TwinDrivers configuration) with its own
+    /// MAC, so the hypervisor's receive demultiplexing has more than one
+    /// destination. Returns the new domain's id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if guest memory cannot be mapped.
+    pub fn add_guest(&mut self, mac: MacAddr) -> Result<DomId, SystemError> {
+        let gspace = self.machine.new_space();
+        let xen = self
+            .world
+            .xen
+            .as_mut()
+            .ok_or_else(|| SystemError::Build("no hypervisor in this configuration".into()))?;
+        let gid = xen.add_guest(gspace, mac);
+        self.machine.map_fresh(gspace, GUEST_HEAP_BASE, 4)?;
+        Ok(gid)
+    }
+
+    fn dispatch_dom0_irq(&mut self) -> Result<(), SystemError> {
+        let m = &mut self.machine;
+        m.meter.charge_to(CostDomain::Dom0, m.cost.irq_dispatch);
+        let handler = *self
+            .world
+            .kernel
+            .irq_handlers
+            .values()
+            .next()
+            .expect("irq handler registered");
+        self.machine.meter.push_domain(CostDomain::Driver);
+        let r = self.call_dom0(handler, &[self.netdev as u32], 10_000_000);
+        self.machine.meter.pop_domain();
+        r.map(|_| ())
+    }
+
+    fn rx_dom0_style(&mut self, on_xen: bool) -> Result<(), SystemError> {
+        if on_xen {
+            let xen = self.world.xen.as_mut().expect("xen");
+            // Xen routes the physical interrupt to dom0 as an event.
+            xen.send_virq(&mut self.machine, DomId::DOM0, 3);
+            let m = &mut self.machine;
+            m.meter
+                .charge_to(CostDomain::Xen, m.cost.paravirt_tax_per_packet);
+        }
+        self.dispatch_dom0_irq()
+    }
+
+    fn rx_baseline_guest(&mut self) -> Result<(), SystemError> {
+        let gid = self.guest.expect("guest");
+        // Interrupt arrives while the guest runs: switch to dom0 first.
+        let xen = self.world.xen.as_mut().expect("xen");
+        xen.send_virq(&mut self.machine, DomId::DOM0, 3);
+        xen.switch_to(&mut self.machine, DomId::DOM0);
+        self.dispatch_dom0_irq()?;
+        // The bridge queued frames toward the backend; push each through
+        // the I/O channel into the guest.
+        let frames: Vec<Frame> = self.world.kernel.rx_delivered.drain(..).collect();
+        for f in frames {
+            {
+                let m = &mut self.machine;
+                m.meter
+                    .charge_to(CostDomain::Dom0, m.cost.netfront_per_packet);
+                m.meter
+                    .charge_to(CostDomain::Dom0, m.cost.backend_rx_extra);
+                // Grant-copy of the packet into guest memory.
+                let c = m.cost.copy_cycles(f.len() as u64);
+                m.meter.charge_to(CostDomain::Dom0, c);
+            }
+            let xen = self.world.xen.as_mut().unwrap();
+            xen.grant_map(&mut self.machine);
+            xen.grant_unmap(&mut self.machine);
+            xen.send_virq(&mut self.machine, gid, 4);
+            {
+                let m = &mut self.machine;
+                m.meter
+                    .charge_to(CostDomain::DomU, m.cost.netfront_per_packet);
+                m.meter
+                    .charge_to(CostDomain::DomU, m.cost.tcp_rx_per_packet);
+            }
+            let xen = self.world.xen.as_mut().unwrap();
+            xen.domain_mut(gid).rx_delivered.push(f);
+        }
+        let xen = self.world.xen.as_mut().unwrap();
+        xen.switch_to(&mut self.machine, gid);
+        Ok(())
+    }
+
+    fn rx_twin(&mut self) -> Result<(), SystemError> {
+        let gid = self.guest.expect("guest");
+        // The hypervisor takes the interrupt directly and runs the
+        // hypervisor driver's handler in softirq context (paper §4.4) —
+        // from the current (guest) context, no switch.
+        {
+            let m = &mut self.machine;
+            m.meter.charge_to(CostDomain::Xen, m.cost.irq_dispatch);
+        }
+        let xen = self.world.xen.as_mut().expect("xen");
+        xen.raise_softirq(Softirq::DriverIrq { nic: 0 });
+        let work = xen.take_runnable_softirqs();
+        for w in work {
+            let Softirq::DriverIrq { .. } = w;
+            let intr = self
+                .hyperdrv
+                .as_ref()
+                .unwrap()
+                .entry("e1000_intr")
+                .unwrap();
+            self.machine.meter.push_domain(CostDomain::Driver);
+            let r = self.call_hyperdrv(intr, &[self.netdev as u32], 20_000_000);
+            self.machine.meter.pop_domain();
+            r?;
+        }
+        // Frames were demultiplexed to per-guest queues; when each guest
+        // is scheduled the hypervisor copies them into guest buffers and
+        // raises a virtual interrupt (paper §5.3).
+        let _ = gid;
+        let guest_ids: Vec<DomId> = self
+            .world
+            .xen
+            .as_ref()
+            .unwrap()
+            .domains
+            .iter()
+            .filter(|d| !d.rx_queue.is_empty())
+            .map(|d| d.id)
+            .collect();
+        for g in guest_ids {
+            let frames: Vec<Frame> = {
+                let xen = self.world.xen.as_mut().unwrap();
+                xen.domain_mut(g).rx_queue.drain(..).collect()
+            };
+            for f in frames {
+                {
+                    let m = &mut self.machine;
+                    let c = m.cost.copy_cycles(f.len() as u64);
+                    m.meter.charge_to(CostDomain::Xen, c);
+                    m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_rx);
+                }
+                let xen = self.world.xen.as_mut().unwrap();
+                xen.send_virq(&mut self.machine, g, 4);
+                {
+                    let m = &mut self.machine;
+                    m.meter.charge_to(CostDomain::DomU, m.cost.pv_driver_guest);
+                    m.meter
+                        .charge_to(CostDomain::DomU, m.cost.tcp_rx_per_packet);
+                }
+                let xen = self.world.xen.as_mut().unwrap();
+                xen.domain_mut(g).rx_delivered.push(f);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains frames that reached the wire.
+    pub fn take_wire_frames(&mut self) -> Vec<Frame> {
+        self.world.nics[0].take_tx_frames()
+    }
+
+    /// Frames fully delivered to the measured receive endpoint.
+    pub fn delivered_rx(&self) -> usize {
+        match self.config {
+            Config::NativeLinux | Config::XenDom0 => self.world.kernel.rx_delivered.len(),
+            Config::XenGuest | Config::TwinDrivers => {
+                let gid = self.guest.expect("guest");
+                self.world.xen.as_ref().unwrap().domain(gid).rx_delivered.len()
+            }
+        }
+    }
+
+    /// Measures the per-packet cycle breakdown for `packets` transmits
+    /// (after a warm-up run that fills the stlb and pools).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-packet errors.
+    pub fn measure_tx(&mut self, packets: u64) -> Result<Breakdown, SystemError> {
+        for _ in 0..32 {
+            self.transmit_one()?;
+        }
+        self.take_wire_frames();
+        self.machine.meter.reset();
+        for _ in 0..packets {
+            self.transmit_one()?;
+        }
+        Ok(Breakdown::from_meter(&self.machine.meter, packets))
+    }
+
+    /// Measures the per-packet cycle breakdown for `packets` receives.
+    ///
+    /// The warm-up covers more than one full RX-ring cycle (128
+    /// descriptors): the ring's initial dom0-pool buffers are gradually
+    /// replaced by hypervisor-reserved buffers, and steady state begins
+    /// only after the swap completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-packet errors.
+    pub fn measure_rx(&mut self, packets: u64) -> Result<Breakdown, SystemError> {
+        for _ in 0..160 {
+            self.receive_one()?;
+        }
+        self.machine.meter.reset();
+        for _ in 0..packets {
+            self.receive_one()?;
+        }
+        Ok(Breakdown::from_meter(&self.machine.meter, packets))
+    }
+}

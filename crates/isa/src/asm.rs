@@ -1,0 +1,873 @@
+//! An AT&T-style assembler for the twin-isa instruction set.
+//!
+//! The paper derives the hypervisor driver by "compiling the driver into
+//! assembly" and feeding that file to an assembler-level rewriting tool
+//! (§5.1). This module is the front end of that pipeline: it turns assembly
+//! text into a [`Module`] the rewriter can transform.
+//!
+//! Supported syntax (a practical subset of GNU as):
+//!
+//! ```text
+//!     .text
+//!     .globl  e1000_xmit_frame
+//!     .extern netdev_alloc_skb
+//! e1000_xmit_frame:
+//!     pushl   %ebp
+//!     movl    %esp, %ebp
+//!     movl    8(%ebp), %eax          # register + displacement
+//!     movl    adapter+12(,%ecx,4), %edx  # symbol disp + scaled index
+//!     rep movsl                      # string op with prefix
+//!     call    *24(%ebx)              # indirect call
+//!     ret
+//!     .data
+//!     .align 4
+//! adapter:
+//!     .long 0
+//!     .long e1000_poll               # function pointer (relocated)
+//!     .zero 64
+//! ```
+
+use crate::insn::{AluOp, Cond, Insn, MemRef, Operand, Rep, ShiftOp, StrOp, Target, UnOp, Width};
+use crate::module::{DataItem, DataReloc, Module};
+use crate::reg::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when assembly text cannot be parsed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// Explanation of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Assembles AT&T-style source text into a [`Module`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any syntax error,
+/// unknown mnemonic, malformed operand, or duplicate label.
+pub fn assemble(name: &str, source: &str) -> Result<Module, AsmError> {
+    let mut m = Module::new(name);
+    let mut section = Section::Text;
+    let mut data_items: Vec<(usize, DataItem)> = Vec::new();
+    let mut data_labels: Vec<(String, usize)> = Vec::new(); // label -> item index
+
+    for (lineno0, raw) in source.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = find_label_colon(rest) {
+            let label = rest[..colon].trim();
+            if !is_ident(label) {
+                return err(lineno, format!("invalid label name `{label}`"));
+            }
+            let dup = match section {
+                Section::Text => m.labels.insert(label.to_string(), m.text.len()).is_some(),
+                Section::Data => {
+                    let existed = data_labels.iter().any(|(l, _)| l == label);
+                    data_labels.push((label.to_string(), data_items.len()));
+                    existed
+                }
+            };
+            if dup || (section == Section::Data && m.labels.contains_key(label)) {
+                return err(lineno, format!("duplicate label `{label}`"));
+            }
+            rest = rest[colon + 1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            handle_directive(
+                directive,
+                lineno,
+                &mut m,
+                &mut section,
+                &mut data_items,
+                &mut data_labels,
+            )?;
+            continue;
+        }
+        if section != Section::Text {
+            return err(lineno, format!("instruction `{rest}` outside .text"));
+        }
+        let insn = parse_insn(rest, lineno)?;
+        m.text.push(insn);
+    }
+
+    layout_data(&mut m, &data_items, &data_labels);
+    Ok(m)
+}
+
+fn err<T>(line: usize, message: String) -> Result<T, AsmError> {
+    Err(AsmError { line, message })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Finds the colon ending a leading label, ignoring colons inside quotes.
+/// Dot-prefixed local labels (`.Lfoo:`) are labels, not directives — the
+/// distinction is the trailing colon on the first token.
+fn find_label_colon(s: &str) -> Option<usize> {
+    let head = s.split_whitespace().next()?;
+    if head.starts_with('"') {
+        return None;
+    }
+    let colon = head.find(':')?;
+    // Only a label if the colon terminates the first token.
+    if colon + 1 == head.len() {
+        s.find(':')
+    } else {
+        None
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_' || c == '.').unwrap_or(false)
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+fn handle_directive(
+    directive: &str,
+    lineno: usize,
+    m: &mut Module,
+    section: &mut Section,
+    data_items: &mut Vec<(usize, DataItem)>,
+    data_labels: &mut Vec<(String, usize)>,
+) -> Result<(), AsmError> {
+    let (name, arg) = match directive.find(char::is_whitespace) {
+        Some(i) => (&directive[..i], directive[i..].trim()),
+        None => (directive, ""),
+    };
+    match name {
+        "text" => *section = Section::Text,
+        "data" | "bss" => *section = Section::Data,
+        "globl" | "global" => {
+            for g in arg.split(',') {
+                let g = g.trim();
+                if !is_ident(g) {
+                    return err(lineno, format!("invalid .globl name `{g}`"));
+                }
+                m.globals.insert(g.to_string());
+            }
+        }
+        "extern" => {
+            for e in arg.split(',') {
+                let e = e.trim();
+                if !is_ident(e) {
+                    return err(lineno, format!("invalid .extern name `{e}`"));
+                }
+                m.externs.insert(e.to_string());
+            }
+        }
+        "long" => {
+            if *section != Section::Data {
+                return err(lineno, ".long outside .data".into());
+            }
+            for part in arg.split(',') {
+                let part = part.trim();
+                if let Ok(v) = parse_int(part) {
+                    data_items.push((lineno, DataItem::Long(v)));
+                } else if is_ident(part) {
+                    data_items.push((lineno, DataItem::LongSym(part.to_string())));
+                } else {
+                    return err(lineno, format!("bad .long value `{part}`"));
+                }
+            }
+        }
+        "byte" => {
+            for part in arg.split(',') {
+                let v = parse_int(part.trim())
+                    .map_err(|e| AsmError { line: lineno, message: e })?;
+                data_items.push((lineno, DataItem::Byte(v as u8)));
+            }
+        }
+        "zero" | "skip" | "space" => {
+            let v = parse_int(arg).map_err(|e| AsmError { line: lineno, message: e })?;
+            data_items.push((lineno, DataItem::Zero(v as u64)));
+        }
+        "asciz" | "string" => {
+            let s = arg
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| AsmError {
+                    line: lineno,
+                    message: format!("bad string literal `{arg}`"),
+                })?;
+            data_items.push((lineno, DataItem::Asciz(s.to_string())));
+        }
+        "align" => {
+            let v = parse_int(arg).map_err(|e| AsmError { line: lineno, message: e })?;
+            data_items.push((lineno, DataItem::Align(v as u64)));
+        }
+        "comm" => {
+            // .comm name, size  — common (zero-initialised) symbol.
+            let mut parts = arg.splitn(2, ',');
+            let nm = parts.next().unwrap_or("").trim().to_string();
+            let sz = parse_int(parts.next().unwrap_or("").trim())
+                .map_err(|e| AsmError { line: lineno, message: e })?;
+            if !is_ident(&nm) {
+                return err(lineno, format!("bad .comm name `{nm}`"));
+            }
+            data_items.push((lineno, DataItem::Align(4)));
+            data_labels.push((nm, data_items.len()));
+            data_items.push((lineno, DataItem::Zero(sz as u64)));
+        }
+        "file" | "ident" | "size" | "type" | "section" => { /* ignored metadata */ }
+        other => return err(lineno, format!("unknown directive `.{other}`")),
+    }
+    Ok(())
+}
+
+fn layout_data(m: &mut Module, items: &[(usize, DataItem)], labels: &[(String, usize)]) {
+    // Compute the byte offset of the start of each item.
+    let mut offsets = Vec::with_capacity(items.len() + 1);
+    let bytes = &mut m.data.bytes;
+    for (_, item) in items {
+        offsets.push(bytes.len() as u64);
+        match item {
+            DataItem::Long(v) => bytes.extend_from_slice(&(*v as u32).to_le_bytes()),
+            DataItem::LongSym(sym) => {
+                m.data.relocs.push(DataReloc {
+                    offset: bytes.len() as u64,
+                    symbol: sym.clone(),
+                });
+                bytes.extend_from_slice(&0u32.to_le_bytes());
+            }
+            DataItem::Zero(n) => bytes.resize(bytes.len() + *n as usize, 0),
+            DataItem::Byte(b) => bytes.push(*b),
+            DataItem::Asciz(s) => {
+                bytes.extend_from_slice(s.as_bytes());
+                bytes.push(0);
+            }
+            DataItem::Align(n) => {
+                if *n > 1 {
+                    while bytes.len() as u64 % n != 0 {
+                        bytes.push(0);
+                    }
+                }
+            }
+        }
+    }
+    offsets.push(bytes.len() as u64);
+    for (label, item_idx) in labels {
+        m.data.symbols.insert(label.clone(), offsets[*item_idx]);
+    }
+}
+
+fn parse_int(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad integer `{s}`"))? as i64
+    } else {
+        body.parse::<i64>().map_err(|_| format!("bad integer `{s}`"))?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+/// Splits an operand list at top-level commas (commas inside parentheses
+/// belong to memory operands).
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+fn parse_mem(s: &str, lineno: usize) -> Result<MemRef, AsmError> {
+    let s = s.trim();
+    let (disp_str, inner) = match s.find('(') {
+        Some(open) => {
+            if !s.ends_with(')') {
+                return err(lineno, format!("unterminated memory operand `{s}`"));
+            }
+            (&s[..open], Some(&s[open + 1..s.len() - 1]))
+        }
+        None => (s, None),
+    };
+    let mut mem = MemRef::default();
+    let disp_str = disp_str.trim();
+    if !disp_str.is_empty() {
+        if let Ok(v) = parse_int(disp_str) {
+            mem.disp = v;
+        } else {
+            // symbol, symbol+n, symbol-n
+            let (sym, off) = split_sym_offset(disp_str)
+                .ok_or_else(|| AsmError {
+                    line: lineno,
+                    message: format!("bad displacement `{disp_str}`"),
+                })?;
+            mem.sym = Some(sym.to_string());
+            mem.disp = off;
+        }
+    }
+    if let Some(inner) = inner {
+        let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+        if parts.len() > 3 {
+            return err(lineno, format!("too many memory operand fields `{s}`"));
+        }
+        if let Some(b) = parts.first() {
+            if !b.is_empty() {
+                let r = parse_reg(b, lineno)?;
+                mem.base = Some(r);
+            }
+        }
+        if let Some(i) = parts.get(1) {
+            if !i.is_empty() {
+                let r = parse_reg(i, lineno)?;
+                let scale = match parts.get(2) {
+                    Some(sc) if !sc.is_empty() => parse_int(sc)
+                        .map_err(|e| AsmError { line: lineno, message: e })?
+                        as u8,
+                    _ => 1,
+                };
+                if ![1, 2, 4, 8].contains(&scale) {
+                    return err(lineno, format!("bad scale `{scale}`"));
+                }
+                mem.index = Some((r, scale));
+            }
+        }
+    }
+    Ok(mem)
+}
+
+fn split_sym_offset(s: &str) -> Option<(&str, i64)> {
+    if let Some(plus) = s.rfind('+') {
+        let (sym, num) = (s[..plus].trim(), s[plus + 1..].trim());
+        if is_ident(sym) {
+            return parse_int(num).ok().map(|v| (sym, v));
+        }
+    }
+    if let Some(minus) = s.rfind('-') {
+        if minus > 0 {
+            let (sym, num) = (s[..minus].trim(), s[minus + 1..].trim());
+            if is_ident(sym) {
+                return parse_int(num).ok().map(|v| (sym, -v));
+            }
+        }
+    }
+    if is_ident(s) {
+        return Some((s, 0));
+    }
+    None
+}
+
+fn parse_reg(s: &str, lineno: usize) -> Result<Reg, AsmError> {
+    s.strip_prefix('%')
+        .and_then(Reg::from_name)
+        .ok_or_else(|| AsmError {
+            line: lineno,
+            message: format!("bad register `{s}`"),
+        })
+}
+
+fn parse_operand(s: &str, lineno: usize) -> Result<Operand, AsmError> {
+    let s = s.trim();
+    if let Some(r) = s.strip_prefix('%') {
+        return Reg::from_name(r).map(Operand::Reg).ok_or_else(|| AsmError {
+            line: lineno,
+            message: format!("bad register `%{r}`"),
+        });
+    }
+    if let Some(imm) = s.strip_prefix('$') {
+        if let Ok(v) = parse_int(imm) {
+            return Ok(Operand::Imm(v));
+        }
+        if let Some((sym, off)) = split_sym_offset(imm) {
+            return Ok(Operand::Sym(sym.to_string(), off));
+        }
+        return err(lineno, format!("bad immediate `${imm}`"));
+    }
+    Ok(Operand::Mem(parse_mem(s, lineno)?))
+}
+
+fn parse_target(s: &str, lineno: usize) -> Result<Target, AsmError> {
+    let s = s.trim();
+    if let Some(ind) = s.strip_prefix('*') {
+        let ind = ind.trim();
+        if let Some(r) = ind.strip_prefix('%') {
+            return Reg::from_name(r).map(Target::Reg).ok_or_else(|| AsmError {
+                line: lineno,
+                message: format!("bad register `%{r}`"),
+            });
+        }
+        return Ok(Target::Mem(parse_mem(ind, lineno)?));
+    }
+    if let Ok(v) = parse_int(s) {
+        return Ok(Target::Abs(v as u64));
+    }
+    if is_ident(s) {
+        return Ok(Target::Label(s.to_string()));
+    }
+    err(lineno, format!("bad jump/call target `{s}`"))
+}
+
+fn width_from_suffix(c: char) -> Option<Width> {
+    match c {
+        'b' => Some(Width::Byte),
+        'w' => Some(Width::Word),
+        'l' => Some(Width::Long),
+        _ => None,
+    }
+}
+
+fn parse_insn(line: &str, lineno: usize) -> Result<Insn, AsmError> {
+    let (mnemonic, ops_str) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+
+    // rep / repe / repne prefixes.
+    if let Some(rep) = match mnemonic.as_str() {
+        "rep" => Some(Rep::Rep),
+        "repe" | "repz" => Some(Rep::Repe),
+        "repne" | "repnz" => Some(Rep::Repne),
+        _ => None,
+    } {
+        let inner = parse_insn(ops_str, lineno)?;
+        return match inner {
+            Insn::Str { op, w, .. } => Ok(Insn::Str { op, w, rep }),
+            other => err(lineno, format!("rep prefix on non-string insn `{other}`")),
+        };
+    }
+
+    let ops = split_operands(ops_str);
+    let two = |lineno: usize| -> Result<(Operand, Operand), AsmError> {
+        if ops.len() != 2 {
+            return err(lineno, format!("expected 2 operands, got {}", ops.len()));
+        }
+        Ok((parse_operand(ops[0], lineno)?, parse_operand(ops[1], lineno)?))
+    };
+    let one = |lineno: usize| -> Result<Operand, AsmError> {
+        if ops.len() != 1 {
+            return err(lineno, format!("expected 1 operand, got {}", ops.len()));
+        }
+        parse_operand(ops[0], lineno)
+    };
+
+    // String instructions: movsb/movsw/movsl, stosl, lodsl, cmpsl, scasl...
+    // (movs{b,w}l collide with sign extension and are matched first below.)
+    if mnemonic.len() == 6 && (mnemonic.starts_with("movs") || mnemonic.starts_with("movz")) {
+        // movzbl / movzwl / movsbl / movswl
+        let from = width_from_suffix(mnemonic.chars().nth(4).unwrap());
+        let to = width_from_suffix(mnemonic.chars().nth(5).unwrap());
+        if let (Some(fw), Some(Width::Long)) = (from, to) {
+            let (src, dst) = two(lineno)?;
+            let dst = match dst {
+                Operand::Reg(r) => r,
+                other => {
+                    return err(lineno, format!("extension destination must be a register, got `{other:?}`"))
+                }
+            };
+            return Ok(if mnemonic.starts_with("movz") {
+                Insn::Movzx { w: fw, dst, src }
+            } else {
+                Insn::Movsx { w: fw, dst, src }
+            });
+        }
+    }
+    if mnemonic.len() == 5 {
+        let stem = &mnemonic[..4];
+        let suffix = mnemonic.chars().nth(4).unwrap();
+        if let Some(w) = width_from_suffix(suffix) {
+            let strop = match stem {
+                "movs" => Some(StrOp::Movs),
+                "stos" => Some(StrOp::Stos),
+                "lods" => Some(StrOp::Lods),
+                "cmps" => Some(StrOp::Cmps),
+                "scas" => Some(StrOp::Scas),
+                _ => None,
+            };
+            if let Some(op) = strop {
+                if !ops.is_empty() {
+                    return err(lineno, "string instructions take no operands".into());
+                }
+                return Ok(Insn::Str { op, w, rep: Rep::None });
+            }
+        }
+    }
+
+    // Unsuffixed mnemonics first (`call` must not lose its final `l`).
+    match mnemonic.as_str() {
+        "jmp" => {
+            return Ok(Insn::Jmp {
+                target: parse_target(ops_str, lineno)?,
+            })
+        }
+        "call" => {
+            return Ok(Insn::Call {
+                target: parse_target(ops_str, lineno)?,
+            })
+        }
+        "ret" => return Ok(Insn::Ret),
+        "cli" => return Ok(Insn::Cli),
+        "sti" => return Ok(Insn::Sti),
+        "nop" => return Ok(Insn::Nop),
+        "hlt" => return Ok(Insn::Hlt),
+        "int3" => return Ok(Insn::Int3),
+        "ud2" => return Ok(Insn::Ud2),
+        _ => {}
+    }
+
+    // Width-suffixed general instructions.
+    let (stem, width) = match mnemonic.chars().last().and_then(width_from_suffix) {
+        Some(w) if mnemonic.len() > 1 => (&mnemonic[..mnemonic.len() - 1], Some(w)),
+        _ => (mnemonic.as_str(), None),
+    };
+    let w = width.unwrap_or(Width::Long);
+
+    match stem {
+        "mov" => {
+            let (src, dst) = two(lineno)?;
+            Ok(Insn::Mov { w, dst, src })
+        }
+        "lea" => {
+            let (src, dst) = two(lineno)?;
+            match (src, dst) {
+                (Operand::Mem(mem), Operand::Reg(dst)) => Ok(Insn::Lea { dst, mem }),
+                _ => err(lineno, "lea needs memory source and register dest".into()),
+            }
+        }
+        "add" | "sub" | "and" | "or" | "xor" => {
+            let (src, dst) = two(lineno)?;
+            let op = match stem {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "and" => AluOp::And,
+                "or" => AluOp::Or,
+                _ => AluOp::Xor,
+            };
+            Ok(Insn::Alu { op, w, dst, src })
+        }
+        "shl" | "shr" | "sar" => {
+            let (amount, dst) = two(lineno)?;
+            let op = match stem {
+                "shl" => ShiftOp::Shl,
+                "shr" => ShiftOp::Shr,
+                _ => ShiftOp::Sar,
+            };
+            Ok(Insn::Shift { op, dst, amount })
+        }
+        "cmp" => {
+            let (src, dst) = two(lineno)?;
+            Ok(Insn::Cmp { w, src, dst })
+        }
+        "test" => {
+            let (src, dst) = two(lineno)?;
+            Ok(Insn::Test { w, src, dst })
+        }
+        "neg" | "not" | "inc" | "dec" => {
+            let dst = one(lineno)?;
+            let op = match stem {
+                "neg" => UnOp::Neg,
+                "not" => UnOp::Not,
+                "inc" => UnOp::Inc,
+                _ => UnOp::Dec,
+            };
+            Ok(Insn::Un { op, w, dst })
+        }
+        "imul" => {
+            let (src, dst) = two(lineno)?;
+            match dst {
+                Operand::Reg(dst) => Ok(Insn::Imul { dst, src }),
+                _ => err(lineno, "imul destination must be a register".into()),
+            }
+        }
+        "push" => Ok(Insn::Push { src: one(lineno)? }),
+        "pop" => Ok(Insn::Pop { dst: one(lineno)? }),
+        _ => {
+            // jcc family: j + condition suffix (no width suffix logic).
+            if let Some(cc) = mnemonic.strip_prefix('j') {
+                let cond = match cc {
+                    "e" | "z" => Some(Cond::E),
+                    "ne" | "nz" => Some(Cond::Ne),
+                    "l" => Some(Cond::L),
+                    "le" => Some(Cond::Le),
+                    "g" => Some(Cond::G),
+                    "ge" => Some(Cond::Ge),
+                    "b" | "c" => Some(Cond::B),
+                    "be" => Some(Cond::Be),
+                    "a" => Some(Cond::A),
+                    "ae" | "nc" => Some(Cond::Ae),
+                    "s" => Some(Cond::S),
+                    "ns" => Some(Cond::Ns),
+                    _ => None,
+                };
+                if let Some(cond) = cond {
+                    return Ok(Insn::Jcc {
+                        cond,
+                        target: parse_target(ops_str, lineno)?,
+                    });
+                }
+            }
+            err(lineno, format!("unknown mnemonic `{mnemonic}`"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_function() {
+        let m = assemble(
+            "t",
+            r#"
+            .text
+            .globl f
+        f:
+            pushl %ebp
+            movl %esp, %ebp
+            movl 8(%ebp), %eax
+            addl $1, %eax
+            popl %ebp
+            ret
+        "#,
+        )
+        .unwrap();
+        assert_eq!(m.text.len(), 6);
+        assert_eq!(m.label("f"), Some(0));
+        assert!(m.globals.contains("f"));
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let m = assemble(
+            "t",
+            r#"
+            .text
+        f:
+            movl (%eax), %ebx
+            movl 8(%eax), %ebx
+            movl -4(%ebp), %ebx
+            movl adapter(%eax), %ebx
+            movl adapter+12(%eax,%ecx,4), %ebx
+            movl counter, %ebx
+            movl 0x1000, %ebx
+        "#,
+        )
+        .unwrap();
+        let refs: Vec<_> = m.text.iter().flat_map(|i| i.explicit_mem_refs()).collect();
+        assert_eq!(refs.len(), 7);
+        assert_eq!(refs[0].base, Some(Reg::Eax));
+        assert_eq!(refs[1].disp, 8);
+        assert_eq!(refs[2].disp, -4);
+        assert_eq!(refs[3].sym.as_deref(), Some("adapter"));
+        assert_eq!(refs[4].index, Some((Reg::Ecx, 4)));
+        assert_eq!(refs[4].disp, 12);
+        assert_eq!(refs[5].sym.as_deref(), Some("counter"));
+        assert_eq!(refs[6].disp, 0x1000);
+    }
+
+    #[test]
+    fn string_and_rep() {
+        let m = assemble(
+            "t",
+            r#"
+            .text
+        f:
+            rep movsl
+            movsb
+            repne scasb
+            movzbl (%eax), %ecx
+            movswl 2(%eax), %edx
+        "#,
+        )
+        .unwrap();
+        assert_eq!(
+            m.text[0],
+            Insn::Str {
+                op: StrOp::Movs,
+                w: Width::Long,
+                rep: Rep::Rep
+            }
+        );
+        assert_eq!(
+            m.text[1],
+            Insn::Str {
+                op: StrOp::Movs,
+                w: Width::Byte,
+                rep: Rep::None
+            }
+        );
+        assert_eq!(
+            m.text[2],
+            Insn::Str {
+                op: StrOp::Scas,
+                w: Width::Byte,
+                rep: Rep::Repne
+            }
+        );
+        assert!(matches!(m.text[3], Insn::Movzx { w: Width::Byte, dst: Reg::Ecx, .. }));
+        assert!(matches!(m.text[4], Insn::Movsx { w: Width::Word, dst: Reg::Edx, .. }));
+    }
+
+    #[test]
+    fn calls_and_jumps() {
+        let m = assemble(
+            "t",
+            r#"
+            .text
+        f:
+            call helper
+            call *%eax
+            call *12(%ebx)
+            jmp f
+            je f
+            jnz f
+        "#,
+        )
+        .unwrap();
+        assert!(matches!(&m.text[0], Insn::Call { target: Target::Label(l) } if l == "f" || l == "helper"));
+        assert!(matches!(&m.text[1], Insn::Call { target: Target::Reg(Reg::Eax) }));
+        assert!(matches!(&m.text[2], Insn::Call { target: Target::Mem(_) }));
+        assert!(matches!(&m.text[4], Insn::Jcc { cond: Cond::E, .. }));
+        assert!(matches!(&m.text[5], Insn::Jcc { cond: Cond::Ne, .. }));
+    }
+
+    #[test]
+    fn data_section_layout() {
+        let m = assemble(
+            "t",
+            r#"
+            .data
+            .align 4
+        adapter:
+            .long 7
+            .long e1000_poll
+            .zero 8
+        name:
+            .asciz "e1000"
+        "#,
+        )
+        .unwrap();
+        assert_eq!(m.data.symbols["adapter"], 0);
+        assert_eq!(m.data.symbols["name"], 16);
+        assert_eq!(&m.data.bytes[0..4], &7u32.to_le_bytes());
+        assert_eq!(m.data.relocs.len(), 1);
+        assert_eq!(m.data.relocs[0].offset, 4);
+        assert_eq!(m.data.relocs[0].symbol, "e1000_poll");
+        assert_eq!(&m.data.bytes[16..22], b"e1000\0");
+    }
+
+    #[test]
+    fn comm_symbols() {
+        let m = assemble(
+            "t",
+            r#"
+            .data
+            .comm pool, 64
+        "#,
+        )
+        .unwrap();
+        assert_eq!(m.data.symbols["pool"], 0);
+        assert_eq!(m.data.bytes.len(), 64);
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let e = assemble("t", ".text\nf:\n  bogus %eax\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = assemble("t", ".text\nf:\nf:\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn immediates_and_symbols() {
+        let m = assemble(
+            "t",
+            r#"
+            .text
+        f:
+            movl $42, %eax
+            movl $-1, %ebx
+            movl $0x10, %ecx
+            movl $adapter, %edx
+            movl $adapter+8, %esi
+        "#,
+        )
+        .unwrap();
+        assert!(matches!(&m.text[0], Insn::Mov { src: Operand::Imm(42), .. }));
+        assert!(matches!(&m.text[1], Insn::Mov { src: Operand::Imm(-1), .. }));
+        assert!(matches!(&m.text[2], Insn::Mov { src: Operand::Imm(16), .. }));
+        assert!(matches!(&m.text[3], Insn::Mov { src: Operand::Sym(s, 0), .. } if s == "adapter"));
+        assert!(matches!(&m.text[4], Insn::Mov { src: Operand::Sym(s, 8), .. } if s == "adapter"));
+    }
+
+    #[test]
+    fn roundtrip_through_render() {
+        let src = r#"
+            .text
+            .globl f
+        f:
+            pushl %ebp
+            movl %esp, %ebp
+            movl counter, %eax
+            addl $1, %eax
+            movl %eax, counter
+            rep movsl
+            call *%eax
+            popl %ebp
+            ret
+            .data
+        counter:
+            .long 0
+        "#;
+        let m1 = assemble("t", src).unwrap();
+        let rendered = m1.render();
+        let m2 = assemble("t", &rendered).unwrap();
+        assert_eq!(m1.text, m2.text);
+        assert_eq!(m1.labels, m2.labels);
+        assert_eq!(m1.data.bytes, m2.data.bytes);
+        assert_eq!(m1.data.symbols, m2.data.symbols);
+    }
+}

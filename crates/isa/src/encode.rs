@@ -1,0 +1,707 @@
+//! Byte-level object format (`.two` — TwinDrivers object).
+//!
+//! The paper works on driver *binaries* (§5.1: "conceptually,
+//! assembler-level rewriting is equivalent to binary rewriting"). To keep
+//! that claim honest in the reproduction, modules can be serialised to a
+//! compact byte format and decoded back, so rewriting pipelines can store
+//! and exchange real binary artifacts. [`decode`]`(`[`encode`]`(m)) == m`
+//! for every module (verified by property tests).
+
+use crate::insn::{AluOp, Cond, Insn, MemRef, Operand, Rep, ShiftOp, StrOp, Target, UnOp, Width};
+use crate::module::{DataReloc, Module};
+use crate::reg::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes identifying the object format.
+pub const MAGIC: &[u8; 4] = b"TWO1";
+
+/// Error produced when decoding a malformed object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for DecodeError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        // LEB128-style varint.
+        let mut v = v;
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(b);
+                break;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+    fn i64(&mut self, v: i64) {
+        // Zigzag encoding.
+        self.u64(((v << 1) ^ (v >> 63)) as u64);
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, DecodeError> {
+        Err(DecodeError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| DecodeError {
+                offset: self.pos,
+                message: "unexpected end of input".into(),
+            })?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return self.err("varint too long");
+            }
+        }
+    }
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let z = self.u64()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u64()? as usize;
+        if self.pos + n > self.buf.len() {
+            return self.err("string overruns input");
+        }
+        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + n])
+            .map_err(|_| DecodeError {
+                offset: self.pos,
+                message: "invalid utf-8".into(),
+            })?
+            .to_string();
+        self.pos += n;
+        Ok(s)
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.u64()? as usize;
+        if self.pos + n > self.buf.len() {
+            return self.err("bytes overrun input");
+        }
+        let v = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Ok(v)
+    }
+}
+
+fn put_width(w: &mut Writer, width: Width) {
+    w.u8(match width {
+        Width::Byte => 0,
+        Width::Word => 1,
+        Width::Long => 2,
+    });
+}
+
+fn get_width(r: &mut Reader) -> Result<Width, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Width::Byte,
+        1 => Width::Word,
+        2 => Width::Long,
+        other => return r.err(format!("bad width {other}")),
+    })
+}
+
+fn put_reg(w: &mut Writer, reg: Reg) {
+    w.u8(reg.index() as u8);
+}
+
+fn get_reg(r: &mut Reader) -> Result<Reg, DecodeError> {
+    let i = r.u8()?;
+    Reg::from_index(i as usize).ok_or(DecodeError {
+        offset: r.pos,
+        message: format!("bad register {i}"),
+    })
+}
+
+fn put_mem(w: &mut Writer, m: &MemRef) {
+    let mut flags = 0u8;
+    if m.base.is_some() {
+        flags |= 1;
+    }
+    if m.index.is_some() {
+        flags |= 2;
+    }
+    if m.sym.is_some() {
+        flags |= 4;
+    }
+    w.u8(flags);
+    if let Some(b) = m.base {
+        put_reg(w, b);
+    }
+    if let Some((i, s)) = m.index {
+        put_reg(w, i);
+        w.u8(s);
+    }
+    w.i64(m.disp);
+    if let Some(s) = &m.sym {
+        w.str(s);
+    }
+}
+
+fn get_mem(r: &mut Reader) -> Result<MemRef, DecodeError> {
+    let flags = r.u8()?;
+    let base = if flags & 1 != 0 { Some(get_reg(r)?) } else { None };
+    let index = if flags & 2 != 0 {
+        let reg = get_reg(r)?;
+        let scale = r.u8()?;
+        Some((reg, scale))
+    } else {
+        None
+    };
+    let disp = r.i64()?;
+    let sym = if flags & 4 != 0 { Some(r.str()?) } else { None };
+    Ok(MemRef { base, index, disp, sym })
+}
+
+fn put_operand(w: &mut Writer, o: &Operand) {
+    match o {
+        Operand::Reg(r) => {
+            w.u8(0);
+            put_reg(w, *r);
+        }
+        Operand::Imm(v) => {
+            w.u8(1);
+            w.i64(*v);
+        }
+        Operand::Sym(s, off) => {
+            w.u8(2);
+            w.str(s);
+            w.i64(*off);
+        }
+        Operand::Mem(m) => {
+            w.u8(3);
+            put_mem(w, m);
+        }
+    }
+}
+
+fn get_operand(r: &mut Reader) -> Result<Operand, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Operand::Reg(get_reg(r)?),
+        1 => Operand::Imm(r.i64()?),
+        2 => {
+            let s = r.str()?;
+            let off = r.i64()?;
+            Operand::Sym(s, off)
+        }
+        3 => Operand::Mem(get_mem(r)?),
+        other => return r.err(format!("bad operand tag {other}")),
+    })
+}
+
+fn put_target(w: &mut Writer, t: &Target) {
+    match t {
+        Target::Label(l) => {
+            w.u8(0);
+            w.str(l);
+        }
+        Target::Abs(a) => {
+            w.u8(1);
+            w.u64(*a);
+        }
+        Target::Reg(r) => {
+            w.u8(2);
+            put_reg(w, *r);
+        }
+        Target::Mem(m) => {
+            w.u8(3);
+            put_mem(w, m);
+        }
+    }
+}
+
+fn get_target(r: &mut Reader) -> Result<Target, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Target::Label(r.str()?),
+        1 => Target::Abs(r.u64()?),
+        2 => Target::Reg(get_reg(r)?),
+        3 => Target::Mem(get_mem(r)?),
+        other => return r.err(format!("bad target tag {other}")),
+    })
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+    }
+}
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::E => 0,
+        Cond::Ne => 1,
+        Cond::L => 2,
+        Cond::Le => 3,
+        Cond::G => 4,
+        Cond::Ge => 5,
+        Cond::B => 6,
+        Cond::Be => 7,
+        Cond::A => 8,
+        Cond::Ae => 9,
+        Cond::S => 10,
+        Cond::Ns => 11,
+    }
+}
+
+fn put_insn(w: &mut Writer, insn: &Insn) {
+    match insn {
+        Insn::Mov { w: width, dst, src } => {
+            w.u8(0);
+            put_width(w, *width);
+            put_operand(w, dst);
+            put_operand(w, src);
+        }
+        Insn::Movzx { w: width, dst, src } => {
+            w.u8(1);
+            put_width(w, *width);
+            put_reg(w, *dst);
+            put_operand(w, src);
+        }
+        Insn::Movsx { w: width, dst, src } => {
+            w.u8(2);
+            put_width(w, *width);
+            put_reg(w, *dst);
+            put_operand(w, src);
+        }
+        Insn::Lea { dst, mem } => {
+            w.u8(3);
+            put_reg(w, *dst);
+            put_mem(w, mem);
+        }
+        Insn::Alu { op, w: width, dst, src } => {
+            w.u8(4);
+            w.u8(alu_code(*op));
+            put_width(w, *width);
+            put_operand(w, dst);
+            put_operand(w, src);
+        }
+        Insn::Shift { op, dst, amount } => {
+            w.u8(5);
+            w.u8(match op {
+                ShiftOp::Shl => 0,
+                ShiftOp::Shr => 1,
+                ShiftOp::Sar => 2,
+            });
+            put_operand(w, dst);
+            put_operand(w, amount);
+        }
+        Insn::Cmp { w: width, src, dst } => {
+            w.u8(6);
+            put_width(w, *width);
+            put_operand(w, src);
+            put_operand(w, dst);
+        }
+        Insn::Test { w: width, src, dst } => {
+            w.u8(7);
+            put_width(w, *width);
+            put_operand(w, src);
+            put_operand(w, dst);
+        }
+        Insn::Un { op, w: width, dst } => {
+            w.u8(8);
+            w.u8(match op {
+                UnOp::Neg => 0,
+                UnOp::Not => 1,
+                UnOp::Inc => 2,
+                UnOp::Dec => 3,
+            });
+            put_width(w, *width);
+            put_operand(w, dst);
+        }
+        Insn::Imul { dst, src } => {
+            w.u8(9);
+            put_reg(w, *dst);
+            put_operand(w, src);
+        }
+        Insn::Push { src } => {
+            w.u8(10);
+            put_operand(w, src);
+        }
+        Insn::Pop { dst } => {
+            w.u8(11);
+            put_operand(w, dst);
+        }
+        Insn::Jmp { target } => {
+            w.u8(12);
+            put_target(w, target);
+        }
+        Insn::Jcc { cond, target } => {
+            w.u8(13);
+            w.u8(cond_code(*cond));
+            put_target(w, target);
+        }
+        Insn::Call { target } => {
+            w.u8(14);
+            put_target(w, target);
+        }
+        Insn::Ret => w.u8(15),
+        Insn::Str { op, w: width, rep } => {
+            w.u8(16);
+            w.u8(match op {
+                StrOp::Movs => 0,
+                StrOp::Stos => 1,
+                StrOp::Lods => 2,
+                StrOp::Cmps => 3,
+                StrOp::Scas => 4,
+            });
+            put_width(w, *width);
+            w.u8(match rep {
+                Rep::None => 0,
+                Rep::Rep => 1,
+                Rep::Repe => 2,
+                Rep::Repne => 3,
+            });
+        }
+        Insn::Cli => w.u8(17),
+        Insn::Sti => w.u8(18),
+        Insn::Nop => w.u8(19),
+        Insn::Hlt => w.u8(20),
+        Insn::Int3 => w.u8(21),
+        Insn::Ud2 => w.u8(22),
+    }
+}
+
+fn get_insn(r: &mut Reader) -> Result<Insn, DecodeError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => {
+            let w = get_width(r)?;
+            let dst = get_operand(r)?;
+            let src = get_operand(r)?;
+            Insn::Mov { w, dst, src }
+        }
+        1 => {
+            let w = get_width(r)?;
+            let dst = get_reg(r)?;
+            let src = get_operand(r)?;
+            Insn::Movzx { w, dst, src }
+        }
+        2 => {
+            let w = get_width(r)?;
+            let dst = get_reg(r)?;
+            let src = get_operand(r)?;
+            Insn::Movsx { w, dst, src }
+        }
+        3 => {
+            let dst = get_reg(r)?;
+            let mem = get_mem(r)?;
+            Insn::Lea { dst, mem }
+        }
+        4 => {
+            let op = match r.u8()? {
+                0 => AluOp::Add,
+                1 => AluOp::Sub,
+                2 => AluOp::And,
+                3 => AluOp::Or,
+                4 => AluOp::Xor,
+                other => return r.err(format!("bad alu op {other}")),
+            };
+            let w = get_width(r)?;
+            let dst = get_operand(r)?;
+            let src = get_operand(r)?;
+            Insn::Alu { op, w, dst, src }
+        }
+        5 => {
+            let op = match r.u8()? {
+                0 => ShiftOp::Shl,
+                1 => ShiftOp::Shr,
+                2 => ShiftOp::Sar,
+                other => return r.err(format!("bad shift op {other}")),
+            };
+            let dst = get_operand(r)?;
+            let amount = get_operand(r)?;
+            Insn::Shift { op, dst, amount }
+        }
+        6 => {
+            let w = get_width(r)?;
+            let src = get_operand(r)?;
+            let dst = get_operand(r)?;
+            Insn::Cmp { w, src, dst }
+        }
+        7 => {
+            let w = get_width(r)?;
+            let src = get_operand(r)?;
+            let dst = get_operand(r)?;
+            Insn::Test { w, src, dst }
+        }
+        8 => {
+            let op = match r.u8()? {
+                0 => UnOp::Neg,
+                1 => UnOp::Not,
+                2 => UnOp::Inc,
+                3 => UnOp::Dec,
+                other => return r.err(format!("bad un op {other}")),
+            };
+            let w = get_width(r)?;
+            let dst = get_operand(r)?;
+            Insn::Un { op, w, dst }
+        }
+        9 => {
+            let dst = get_reg(r)?;
+            let src = get_operand(r)?;
+            Insn::Imul { dst, src }
+        }
+        10 => Insn::Push { src: get_operand(r)? },
+        11 => Insn::Pop { dst: get_operand(r)? },
+        12 => Insn::Jmp { target: get_target(r)? },
+        13 => {
+            let cond = match r.u8()? {
+                0 => Cond::E,
+                1 => Cond::Ne,
+                2 => Cond::L,
+                3 => Cond::Le,
+                4 => Cond::G,
+                5 => Cond::Ge,
+                6 => Cond::B,
+                7 => Cond::Be,
+                8 => Cond::A,
+                9 => Cond::Ae,
+                10 => Cond::S,
+                11 => Cond::Ns,
+                other => return r.err(format!("bad cond {other}")),
+            };
+            Insn::Jcc { cond, target: get_target(r)? }
+        }
+        14 => Insn::Call { target: get_target(r)? },
+        15 => Insn::Ret,
+        16 => {
+            let op = match r.u8()? {
+                0 => StrOp::Movs,
+                1 => StrOp::Stos,
+                2 => StrOp::Lods,
+                3 => StrOp::Cmps,
+                4 => StrOp::Scas,
+                other => return r.err(format!("bad string op {other}")),
+            };
+            let w = get_width(r)?;
+            let rep = match r.u8()? {
+                0 => Rep::None,
+                1 => Rep::Rep,
+                2 => Rep::Repe,
+                3 => Rep::Repne,
+                other => return r.err(format!("bad rep prefix {other}")),
+            };
+            Insn::Str { op, w, rep }
+        }
+        17 => Insn::Cli,
+        18 => Insn::Sti,
+        19 => Insn::Nop,
+        20 => Insn::Hlt,
+        21 => Insn::Int3,
+        22 => Insn::Ud2,
+        other => return r.err(format!("bad instruction tag {other}")),
+    })
+}
+
+/// Serialises a module to the `.two` byte format.
+pub fn encode(m: &Module) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.str(&m.name);
+    w.u64(m.text.len() as u64);
+    for insn in &m.text {
+        put_insn(&mut w, insn);
+    }
+    w.u64(m.labels.len() as u64);
+    for (name, idx) in &m.labels {
+        w.str(name);
+        w.u64(*idx as u64);
+    }
+    w.u64(m.globals.len() as u64);
+    for g in &m.globals {
+        w.str(g);
+    }
+    w.u64(m.externs.len() as u64);
+    for e in &m.externs {
+        w.str(e);
+    }
+    w.bytes(&m.data.bytes);
+    w.u64(m.data.symbols.len() as u64);
+    for (name, off) in &m.data.symbols {
+        w.str(name);
+        w.u64(*off);
+    }
+    w.u64(m.data.relocs.len() as u64);
+    for r in &m.data.relocs {
+        w.u64(r.offset);
+        w.str(&r.symbol);
+    }
+    w.buf
+}
+
+/// Decodes a module from the `.two` byte format.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated input, bad magic or malformed
+/// encodings.
+pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if bytes.len() < 4 || &bytes[0..4] != MAGIC {
+        return r.err("bad magic");
+    }
+    r.pos = 4;
+    let name = r.str()?;
+    let mut m = Module::new(name);
+    let n = r.u64()? as usize;
+    for _ in 0..n {
+        m.text.push(get_insn(&mut r)?);
+    }
+    let n = r.u64()? as usize;
+    for _ in 0..n {
+        let name = r.str()?;
+        let idx = r.u64()? as usize;
+        m.labels.insert(name, idx);
+    }
+    let n = r.u64()? as usize;
+    for _ in 0..n {
+        m.globals.insert(r.str()?);
+    }
+    let n = r.u64()? as usize;
+    for _ in 0..n {
+        m.externs.insert(r.str()?);
+    }
+    m.data.bytes = r.bytes()?;
+    let n = r.u64()? as usize;
+    for _ in 0..n {
+        let name = r.str()?;
+        let off = r.u64()?;
+        m.data.symbols.insert(name, off);
+    }
+    let n = r.u64()? as usize;
+    for _ in 0..n {
+        let offset = r.u64()?;
+        let symbol = r.str()?;
+        m.data.relocs.push(DataReloc { offset, symbol });
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn roundtrip_representative_module() {
+        let m = assemble(
+            "rt",
+            r#"
+            .extern helper
+            .text
+            .globl f
+        f:
+            pushl %ebp
+            movl %esp, %ebp
+            movl table(,%eax,4), %ecx
+            movzbl (%ecx), %edx
+            rep movsl
+            call *%ecx
+            call helper
+            je f
+            popl %ebp
+            ret
+            .data
+        table:
+            .long 1
+            .long f
+            .zero 12
+        "#,
+        )
+        .unwrap();
+        let bytes = encode(&m);
+        let m2 = decode(&bytes).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(decode(b"nope").is_err());
+        assert!(decode(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let m = assemble("t", ".text\nf:\n ret\n").unwrap();
+        let bytes = encode(&m);
+        for cut in 1..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn varint_edge_values() {
+        let mut w = Writer::new();
+        for v in [0u64, 1, 127, 128, 16384, u64::MAX] {
+            w.u64(v);
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            w.i64(v);
+        }
+        let mut r = Reader { buf: &w.buf, pos: 0 };
+        for v in [0u64, 1, 127, 128, 16384, u64::MAX] {
+            assert_eq!(r.u64().unwrap(), v);
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            assert_eq!(r.i64().unwrap(), v);
+        }
+    }
+}

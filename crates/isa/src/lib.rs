@@ -1,0 +1,59 @@
+//! # twin-isa — a compact x86-32-like instruction set
+//!
+//! The TwinDrivers paper (ASPLOS 2009) rewrites guest-OS driver *assembly* so
+//! that every heap memory reference is translated through a software TLB
+//! (`stlb`). This crate provides the instruction set that the rest of the
+//! reproduction works on: eight general-purpose registers, x86-style
+//! addressing modes (`disp(base,index,scale)`), condition flags, string
+//! instructions with `rep` prefixes, and direct/indirect calls — exactly the
+//! feature set the paper's rewriter must handle (§5.1).
+//!
+//! The crate contains:
+//!
+//! * [`Insn`] and friends — the instruction model, with [`defs`](Insn::defs) /
+//!   [`uses`](Insn::uses) register sets for the liveness analysis the paper
+//!   relies on to find scratch registers (§4.1, footnote 3);
+//! * [`asm`] — an AT&T-style assembler (`movl 8(%ebp), %eax`);
+//! * [`Module`] — an assembled translation unit with labels, globals,
+//!   externs, data section and relocations (the "driver binary");
+//! * [`encode`] — a byte-level object format with round-trip guarantees, so
+//!   modules can be treated as binaries on disk.
+//!
+//! Every instruction occupies [`INSN_SIZE`] bytes of simulated address space;
+//! this keeps function pointers honest (indirect calls through memory work)
+//! and preserves the paper's constant-offset property between the VM driver
+//! and hypervisor driver code (§5.1.2).
+//!
+//! ```
+//! use twin_isa::asm::assemble;
+//! let m = assemble(
+//!     "mini",
+//!     r#"
+//!     .text
+//!     .globl double_it
+//! double_it:
+//!     movl 4(%esp), %eax
+//!     addl %eax, %eax
+//!     ret
+//! "#,
+//! )?;
+//! assert_eq!(m.text.len(), 3);
+//! # Ok::<(), twin_isa::asm::AsmError>(())
+//! ```
+
+pub mod asm;
+pub mod encode;
+mod insn;
+mod module;
+mod reg;
+
+pub use insn::{AluOp, Cond, Insn, MemRef, Operand, Rep, ShiftOp, StrOp, Target, UnOp, Width};
+pub use module::{DataItem, DataSection, Module, SymbolKind};
+pub use reg::{Reg, RegSet};
+
+/// Size in simulated bytes of one instruction slot.
+///
+/// Code addresses are `image_base + INSN_SIZE * index`, so code pointers are
+/// ordinary numbers that can be stored in simulated memory and called
+/// indirectly.
+pub const INSN_SIZE: u64 = 4;

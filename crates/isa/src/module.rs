@@ -1,0 +1,356 @@
+//! Assembled modules: text, labels, data section and symbol information.
+
+use crate::insn::Insn;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Kind of a symbol exported by a [`Module`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SymbolKind {
+    /// A code label (function or jump target).
+    Text,
+    /// A data-section symbol.
+    Data,
+}
+
+/// One item of the data section, as written in the assembly source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DataItem {
+    /// `.long value` — a 32-bit constant.
+    Long(i64),
+    /// `.long symbol` — a 32-bit slot relocated to a symbol's address.
+    /// Function-pointer tables (e.g. `net_device_ops`) are built this way.
+    LongSym(String),
+    /// `.zero n` / `.skip n` — `n` zero bytes.
+    Zero(u64),
+    /// `.byte value`.
+    Byte(u8),
+    /// `.asciz "…"` — NUL-terminated string.
+    Asciz(String),
+    /// `.align n` — pad with zeros to an `n`-byte boundary.
+    Align(u64),
+}
+
+/// Relocation record in the data section: patch the 4 bytes at `offset`
+/// with the load-time address of `symbol`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataReloc {
+    /// Byte offset within the data section.
+    pub offset: u64,
+    /// Symbol whose address is written there.
+    pub symbol: String,
+}
+
+/// The data section of a module: laid-out bytes, symbols and relocations.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DataSection {
+    /// Raw initial bytes (relocation slots are zero until load).
+    pub bytes: Vec<u8>,
+    /// Symbol name → byte offset within the section.
+    pub symbols: BTreeMap<String, u64>,
+    /// Slots to patch with symbol addresses at load time.
+    pub relocs: Vec<DataReloc>,
+}
+
+impl DataSection {
+    /// Size of the section in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the section is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// An assembled translation unit — the "driver binary" the rewriter and
+/// loaders operate on.
+///
+/// Instruction `i` lives at code offset `i * INSN_SIZE`. Labels map to
+/// instruction indices. `externs` are unresolved references to support
+/// routines (the Linux driver API); the loader binds them to native
+/// implementations, hypervisor implementations, or upcall stubs, exactly
+/// as in paper §5.2.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Module {
+    /// Module name (for diagnostics).
+    pub name: String,
+    /// Instruction stream.
+    pub text: Vec<Insn>,
+    /// Label → instruction index.
+    pub labels: BTreeMap<String, usize>,
+    /// Exported (global) symbols.
+    pub globals: BTreeSet<String>,
+    /// Imported symbols (driver support routines, tables).
+    pub externs: BTreeSet<String>,
+    /// The data section.
+    pub data: DataSection,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            ..Module::default()
+        }
+    }
+
+    /// Instruction index of a label.
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+
+    /// All labels that point at instruction index `idx`, in sorted order.
+    pub fn labels_at(&self, idx: usize) -> Vec<&str> {
+        self.labels
+            .iter()
+            .filter(|(_, i)| **i == idx)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Whether `name` is defined in this module (text label or data symbol).
+    pub fn defines(&self, name: &str) -> bool {
+        self.labels.contains_key(name) || self.data.symbols.contains_key(name)
+    }
+
+    /// Returns the list of undefined symbols actually referenced by the
+    /// text or data sections but not defined locally. The loader must
+    /// resolve each of these.
+    pub fn undefined_symbols(&self) -> BTreeSet<String> {
+        let mut refs = BTreeSet::new();
+        for insn in &self.text {
+            collect_insn_syms(insn, &mut refs);
+        }
+        for r in &self.data.relocs {
+            refs.insert(r.symbol.clone());
+        }
+        refs.retain(|s| !self.defines(s));
+        refs
+    }
+
+    /// Function bodies: map from each global text label to the half-open
+    /// instruction index range ending at the next label or end of text.
+    ///
+    /// This is a coarse view used for per-function statistics; the rewriter
+    /// uses a proper CFG instead.
+    pub fn function_ranges(&self) -> Vec<(String, std::ops::Range<usize>)> {
+        let mut starts: Vec<(usize, &String)> = self
+            .labels
+            .iter()
+            .filter(|(n, _)| self.globals.contains(*n))
+            .map(|(n, i)| (*i, n))
+            .collect();
+        starts.sort();
+        let mut out = Vec::new();
+        for (k, (start, name)) in starts.iter().enumerate() {
+            let end = starts
+                .get(k + 1)
+                .map(|(s, _)| *s)
+                .unwrap_or(self.text.len());
+            out.push(((*name).clone(), *start..end));
+        }
+        out
+    }
+
+    /// Renders the module back to assembly source. `assemble(render(m))`
+    /// reproduces `m` up to label placement (labels print before their
+    /// instruction).
+    pub fn render(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# module {}", self.name)?;
+        for e in &self.externs {
+            writeln!(f, "    .extern {e}")?;
+        }
+        writeln!(f, "    .text")?;
+        for g in &self.globals {
+            if self.labels.contains_key(g) {
+                writeln!(f, "    .globl {g}")?;
+            }
+        }
+        // Labels per index.
+        let mut by_idx: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        for (name, idx) in &self.labels {
+            by_idx.entry(*idx).or_default().push(name);
+        }
+        for (i, insn) in self.text.iter().enumerate() {
+            if let Some(ls) = by_idx.get(&i) {
+                for l in ls {
+                    writeln!(f, "{l}:")?;
+                }
+            }
+            writeln!(f, "    {insn}")?;
+        }
+        if let Some(ls) = by_idx.get(&self.text.len()) {
+            for l in ls {
+                writeln!(f, "{l}:")?;
+            }
+        }
+        if !self.data.is_empty() {
+            writeln!(f, "    .data")?;
+            let mut syms: Vec<(&String, &u64)> = self.data.symbols.iter().collect();
+            syms.sort_by_key(|(_, off)| **off);
+            let mut si = 0usize;
+            let relocs: BTreeMap<u64, &str> = self
+                .data
+                .relocs
+                .iter()
+                .map(|r| (r.offset, r.symbol.as_str()))
+                .collect();
+            let mut off = 0u64;
+            let n = self.data.bytes.len() as u64;
+            while off < n {
+                while si < syms.len() && *syms[si].1 == off {
+                    if self.globals.contains(syms[si].0.as_str()) {
+                        writeln!(f, "    .globl {}", syms[si].0)?;
+                    }
+                    writeln!(f, "{}:", syms[si].0)?;
+                    si += 1;
+                }
+                if let Some(sym) = relocs.get(&off) {
+                    writeln!(f, "    .long {sym}")?;
+                    off += 4;
+                } else if off + 4 <= n && !syms.iter().any(|(_, o)| **o > off && **o < off + 4) {
+                    let w = u32::from_le_bytes(
+                        self.data.bytes[off as usize..off as usize + 4]
+                            .try_into()
+                            .expect("4 bytes"),
+                    );
+                    writeln!(f, "    .long {w}")?;
+                    off += 4;
+                } else {
+                    writeln!(f, "    .byte {}", self.data.bytes[off as usize])?;
+                    off += 1;
+                }
+            }
+            while si < syms.len() {
+                writeln!(f, "{}:", syms[si].0)?;
+                si += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn collect_insn_syms(insn: &Insn, out: &mut BTreeSet<String>) {
+    use crate::insn::{Operand, Target};
+    fn op(o: &Operand, out: &mut BTreeSet<String>) {
+        match o {
+            Operand::Sym(s, _) => {
+                out.insert(s.clone());
+            }
+            Operand::Mem(m) => {
+                if let Some(s) = &m.sym {
+                    out.insert(s.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    fn tgt(t: &Target, out: &mut BTreeSet<String>) {
+        match t {
+            Target::Label(l) => {
+                out.insert(l.clone());
+            }
+            Target::Mem(m) => {
+                if let Some(s) = &m.sym {
+                    out.insert(s.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    match insn {
+        Insn::Mov { dst, src, .. } => {
+            op(dst, out);
+            op(src, out);
+        }
+        Insn::Movzx { src, .. } | Insn::Movsx { src, .. } => op(src, out),
+        Insn::Lea { mem, .. } => {
+            if let Some(s) = &mem.sym {
+                out.insert(s.clone());
+            }
+        }
+        Insn::Alu { dst, src, .. } | Insn::Cmp { src, dst, .. } | Insn::Test { src, dst, .. } => {
+            op(dst, out);
+            op(src, out);
+        }
+        Insn::Shift { dst, amount, .. } => {
+            op(dst, out);
+            op(amount, out);
+        }
+        Insn::Un { dst, .. } => op(dst, out),
+        Insn::Imul { src, .. } => op(src, out),
+        Insn::Push { src } => op(src, out),
+        Insn::Pop { dst } => op(dst, out),
+        Insn::Jmp { target } | Insn::Jcc { target, .. } | Insn::Call { target } => tgt(target, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Operand, Target, Width};
+    use crate::Reg;
+
+    fn sample() -> Module {
+        let mut m = Module::new("t");
+        m.text.push(Insn::Mov {
+            w: Width::Long,
+            dst: Operand::Reg(Reg::Eax),
+            src: Operand::Sym("counter".into(), 0),
+        });
+        m.text.push(Insn::Call {
+            target: Target::Label("helper".into()),
+        });
+        m.text.push(Insn::Ret);
+        m.labels.insert("f".into(), 0);
+        m.globals.insert("f".into());
+        m.data.bytes.extend_from_slice(&0u32.to_le_bytes());
+        m.data.symbols.insert("counter".into(), 0);
+        m
+    }
+
+    #[test]
+    fn undefined_symbols_found() {
+        let m = sample();
+        let undef = m.undefined_symbols();
+        assert!(undef.contains("helper"));
+        assert!(!undef.contains("counter"));
+        assert!(!undef.contains("f"));
+    }
+
+    #[test]
+    fn function_ranges_cover_text() {
+        let m = sample();
+        let ranges = m.function_ranges();
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].0, "f");
+        assert_eq!(ranges[0].1, 0..3);
+    }
+
+    #[test]
+    fn labels_at_index() {
+        let m = sample();
+        assert_eq!(m.labels_at(0), vec!["f"]);
+        assert!(m.labels_at(1).is_empty());
+    }
+
+    #[test]
+    fn render_contains_instructions() {
+        let m = sample();
+        let s = m.render();
+        assert!(s.contains("movl $counter, %eax"));
+        assert!(s.contains("call helper"));
+        assert!(s.contains("f:"));
+        assert!(s.contains(".data"));
+    }
+}

@@ -1,0 +1,285 @@
+//! General-purpose registers and register sets.
+
+use std::fmt;
+
+/// The eight x86-32 general purpose registers, in x86 encoding order.
+///
+/// `Esp` is the stack pointer and `Ebp` the conventional frame pointer;
+/// memory references relative to either are exempt from SVM rewriting
+/// (paper §4.1: "stack-relative memory references").
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Reg {
+    /// Accumulator; holds return values by convention.
+    Eax = 0,
+    /// Counter; implicit count register for `rep` string instructions.
+    Ecx = 1,
+    /// Data register.
+    Edx = 2,
+    /// Base register; callee-saved by convention.
+    Ebx = 3,
+    /// Stack pointer.
+    Esp = 4,
+    /// Frame pointer; callee-saved.
+    Ebp = 5,
+    /// Source index; implicit source for string instructions.
+    Esi = 6,
+    /// Destination index; implicit destination for string instructions.
+    Edi = 7,
+}
+
+impl Reg {
+    /// All registers, in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Esp,
+        Reg::Ebp,
+        Reg::Esi,
+        Reg::Edi,
+    ];
+
+    /// Registers the SVM rewriter may use as scratch when they are dead
+    /// (everything except the stack and frame pointers).
+    pub const SCRATCH_CANDIDATES: [Reg; 6] = [
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Esi,
+        Reg::Edi,
+    ];
+
+    /// Numeric encoding (0..8).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register from its numeric encoding.
+    ///
+    /// Returns `None` if `idx >= 8`.
+    pub fn from_index(idx: usize) -> Option<Reg> {
+        Reg::ALL.get(idx).copied()
+    }
+
+    /// AT&T-style name without the `%` sigil (`"eax"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Eax => "eax",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Ebx => "ebx",
+            Reg::Esp => "esp",
+            Reg::Ebp => "ebp",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+        }
+    }
+
+    /// Parse a register name (without `%`), e.g. `"eax"`.
+    pub fn from_name(name: &str) -> Option<Reg> {
+        Some(match name {
+            "eax" => Reg::Eax,
+            "ecx" => Reg::Ecx,
+            "edx" => Reg::Edx,
+            "ebx" => Reg::Ebx,
+            "esp" => Reg::Esp,
+            "ebp" => Reg::Ebp,
+            "esi" => Reg::Esi,
+            "edi" => Reg::Edi,
+            _ => return None,
+        })
+    }
+
+    /// True for the stack-addressing registers (`esp`, `ebp`) whose memory
+    /// references the rewriter leaves untouched.
+    #[inline]
+    pub fn is_stack_reg(self) -> bool {
+        matches!(self, Reg::Esp | Reg::Ebp)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.name())
+    }
+}
+
+/// A set of registers, stored as a bitmask.
+///
+/// Used by the rewriter's liveness analysis: `RegSet` values are the
+/// live-out sets per instruction, and their complement yields the free
+/// scratch registers for the SVM fast path.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct RegSet(u8);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+    /// All eight registers.
+    pub const ALL: RegSet = RegSet(0xff);
+
+    /// Creates an empty set.
+    pub fn new() -> RegSet {
+        RegSet::EMPTY
+    }
+
+    /// Set containing exactly `r`.
+    pub fn of(r: Reg) -> RegSet {
+        RegSet(1 << r.index())
+    }
+
+    /// Inserts `r`; returns whether it was newly inserted.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let had = self.contains(r);
+        self.0 |= 1 << r.index();
+        !had
+    }
+
+    /// Removes `r`; returns whether it was present.
+    pub fn remove(&mut self, r: Reg) -> bool {
+        let had = self.contains(r);
+        self.0 &= !(1 << r.index());
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Union.
+    #[inline]
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    #[inline]
+    pub fn difference(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// Intersection.
+    #[inline]
+    pub fn intersection(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & other.0)
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if no registers are present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over members in encoding order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        Reg::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> Self {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl Extend<Reg> for RegSet {
+    fn extend<T: IntoIterator<Item = Reg>>(&mut self, iter: T) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", r.name())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_name() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Reg::from_name("xyz"), None);
+    }
+
+    #[test]
+    fn reg_roundtrip_index() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index()), Some(r));
+        }
+        assert_eq!(Reg::from_index(8), None);
+    }
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Reg::Eax));
+        assert!(!s.insert(Reg::Eax));
+        assert!(s.contains(Reg::Eax));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Reg::Eax));
+        assert!(!s.remove(Reg::Eax));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn regset_ops() {
+        let a: RegSet = [Reg::Eax, Reg::Ebx].into_iter().collect();
+        let b: RegSet = [Reg::Ebx, Reg::Ecx].into_iter().collect();
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert!(a.intersection(b).contains(Reg::Ebx));
+        assert_eq!(a.difference(b).len(), 1);
+        assert!(a.difference(b).contains(Reg::Eax));
+    }
+
+    #[test]
+    fn regset_iter_order() {
+        let s: RegSet = [Reg::Edi, Reg::Eax].into_iter().collect();
+        let v: Vec<Reg> = s.iter().collect();
+        assert_eq!(v, vec![Reg::Eax, Reg::Edi]);
+    }
+
+    #[test]
+    fn stack_regs() {
+        assert!(Reg::Esp.is_stack_reg());
+        assert!(Reg::Ebp.is_stack_reg());
+        assert!(!Reg::Eax.is_stack_reg());
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert_eq!(format!("{:?}", RegSet::EMPTY), "{}");
+        assert_eq!(format!("{:?}", RegSet::of(Reg::Eax)), "{eax}");
+    }
+}

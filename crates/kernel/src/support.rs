@@ -1,0 +1,645 @@
+//! Dom0 kernel model: the driver support API (the "large body of code in
+//! the VM kernel", paper §3.2), timers, IRQ registration and the call
+//! trace used to regenerate Table 1.
+
+use crate::heap::Heap;
+use crate::skb::{offsets, SkBuff, SkbPool};
+use std::collections::{BTreeMap, BTreeSet};
+use twin_machine::{CostDomain, Cpu, ExecMode, Fault, Machine, SpaceId};
+use twin_net::Frame;
+use twin_nic::MMIO_WINDOW;
+
+/// Virtual address in dom0 where NIC MMIO windows are mapped
+/// (`ioremap` hands out `MMIO_BASE + dev * MMIO_WINDOW`).
+///
+/// Deliberately *not* a multiple of 16 MiB away from the kernel heap:
+/// the stlb is direct-mapped on address bits 12..24, so hot pages 16 MiB
+/// apart would evict each other on every packet (collision ping-pong).
+pub const MMIO_BASE: u64 = 0xE02A_0000;
+
+/// Records which support routines the driver calls in which phase; the
+/// Table 1 harness compares the `fastpath` set against the paper's ten.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Current phase label (`"init"`, `"config"`, `"fastpath"`).
+    pub phase: String,
+    /// Whether recording is enabled.
+    pub enabled: bool,
+    calls: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn new() -> Trace {
+        Trace {
+            phase: "init".to_string(),
+            enabled: false,
+            calls: BTreeMap::new(),
+        }
+    }
+
+    /// Records a call to `name` in the current phase.
+    pub fn record(&mut self, name: &str) {
+        if self.enabled {
+            self.calls
+                .entry(name.to_string())
+                .or_default()
+                .insert(self.phase.clone());
+        }
+    }
+
+    /// Routines observed in a given phase.
+    pub fn names_in_phase(&self, phase: &str) -> BTreeSet<String> {
+        self.calls
+            .iter()
+            .filter(|(_, phases)| phases.contains(phase))
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// All distinct routines observed.
+    pub fn all_names(&self) -> BTreeSet<String> {
+        self.calls.keys().cloned().collect()
+    }
+}
+
+/// One pending kernel timer.
+#[derive(Copy, Clone, Debug)]
+pub struct Timer {
+    /// ISA handler address.
+    pub handler: u64,
+    /// Absolute tick at which it fires.
+    pub expires_at: u64,
+}
+
+/// What dom0 does with packets the driver hands to `netif_rx`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RxMode {
+    /// Deliver to the local TCP/IP stack (native Linux and dom0
+    /// configurations) — charges the full receive-stack cost.
+    LocalStack,
+    /// Bridge toward a guest backend (baseline Xen guest configuration) —
+    /// charges only the bridge lookup; the backend costs are charged by
+    /// the I/O-channel model.
+    Bridge,
+}
+
+/// The dom0 kernel model: heap, sk_buff pools, support-routine
+/// implementations, timers and IRQ plumbing.
+#[derive(Debug)]
+pub struct Dom0Kernel {
+    /// dom0's address space.
+    pub space: SpaceId,
+    /// The kernel heap.
+    pub heap: Heap,
+    /// General sk_buff pool (driver RX buffers, netperf TX buffers).
+    pub pool: SkbPool,
+    /// Hypervisor-reserved pool (paper §4.3); created by the TwinDrivers
+    /// setup, `None` for plain configurations.
+    pub hyper_pool: Option<SkbPool>,
+    /// Frames delivered to the dom0 network stack by `netif_rx`.
+    pub rx_delivered: Vec<Frame>,
+    /// IRQ number → ISA handler address (`request_irq`).
+    pub irq_handlers: BTreeMap<u32, u64>,
+    /// Pending timers.
+    pub timers: Vec<Timer>,
+    /// Current tick (advanced by the harness).
+    pub tick: u64,
+    /// Call trace for Table 1.
+    pub trace: Trace,
+    /// Destination of `netif_rx` packets.
+    pub rx_mode: RxMode,
+    /// `printk` invocations.
+    pub printk_count: u64,
+    /// Whether the TX queue is stopped.
+    pub queue_stopped: bool,
+    /// Registered net devices (addresses of netdev structs).
+    pub registered_netdevs: Vec<u64>,
+    alloc_sizes: BTreeMap<u64, u64>,
+}
+
+impl Dom0Kernel {
+    /// Creates the kernel model with `pool_size` preallocated 2 KiB
+    /// sk_buffs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the heap cannot back the pool.
+    pub fn new(m: &mut Machine, space: SpaceId, pool_size: usize) -> Result<Dom0Kernel, Fault> {
+        let mut heap = Heap::new(space);
+        let pool = SkbPool::preallocate(m, &mut heap, pool_size, 2048, false)?;
+        Ok(Dom0Kernel {
+            space,
+            heap,
+            pool,
+            hyper_pool: None,
+            rx_delivered: Vec::new(),
+            irq_handlers: BTreeMap::new(),
+            timers: Vec::new(),
+            tick: 0,
+            trace: Trace::new(),
+            rx_mode: RxMode::LocalStack,
+            printk_count: 0,
+            queue_stopped: false,
+            registered_netdevs: Vec::new(),
+            alloc_sizes: BTreeMap::new(),
+        })
+    }
+
+    /// Creates the hypervisor-reserved pool (paper §4.3).
+    ///
+    /// # Errors
+    ///
+    /// Fails on heap exhaustion.
+    pub fn reserve_hypervisor_pool(&mut self, m: &mut Machine, count: usize) -> Result<(), Fault> {
+        let pool = SkbPool::preallocate(m, &mut self.heap, count, 2048, true)?;
+        self.hyper_pool = Some(pool);
+        Ok(())
+    }
+
+    /// Frees an sk_buff into whichever pool owns it (the reference-count
+    /// trick keeps hypervisor-reserved buffers out of dom0's pool).
+    pub fn free_skb(&mut self, m: &Machine, skb: SkBuff) -> Result<(), Fault> {
+        let flags = skb.pool_flags(m, self.space)?;
+        if flags & 1 != 0 {
+            if let Some(hp) = &mut self.hyper_pool {
+                hp.free(skb);
+                return Ok(());
+            }
+        }
+        self.pool.free(skb);
+        Ok(())
+    }
+
+    /// Timers due at the current tick; removes them from the pending set.
+    pub fn take_due_timers(&mut self) -> Vec<Timer> {
+        let tick = self.tick;
+        let (due, pending): (Vec<Timer>, Vec<Timer>) =
+            self.timers.drain(..).partition(|t| t.expires_at <= tick);
+        self.timers = pending;
+        due
+    }
+
+    /// Handles a support-routine call from driver code. Returns `None`
+    /// when `name` is not a dom0 kernel routine (letting the caller try
+    /// other dispatchers, e.g. hypervisor stubs).
+    ///
+    /// Cycle charges land in [`CostDomain::Dom0`] — support routines are
+    /// kernel code, not driver code, matching the paper's attribution.
+    pub fn handle_extern(
+        &mut self,
+        name: &str,
+        m: &mut Machine,
+        cpu: &mut Cpu,
+    ) -> Option<Result<(), Fault>> {
+        if !KNOWN_ROUTINES.contains(&name) {
+            return None;
+        }
+        self.trace.record(name);
+        m.meter.push_domain(CostDomain::Dom0);
+        let r = self.dispatch(name, m, cpu);
+        m.meter.pop_domain();
+        Some(r)
+    }
+
+    fn dispatch(&mut self, name: &str, m: &mut Machine, cpu: &mut Cpu) -> Result<(), Fault> {
+        use twin_isa::Reg;
+        let ret = |cpu: &mut Cpu, v: u32| cpu.set_reg(Reg::Eax, v);
+        match name {
+            "netdev_alloc_skb" | "dev_alloc_skb" => {
+                let c = m.cost.skb_alloc;
+                m.meter.charge(c);
+                let skb = self.pool.alloc(m, self.space);
+                ret(cpu, skb.map(|s| s.0 as u32).unwrap_or(0));
+            }
+            "dev_kfree_skb_any" | "dev_kfree_skb" | "kfree_skb" => {
+                let c = m.cost.skb_alloc / 2;
+                m.meter.charge(c);
+                let skb = SkBuff(cpu.arg(m, 0)? as u64);
+                if skb.0 != 0 {
+                    self.free_skb(m, skb)?;
+                }
+                ret(cpu, 0);
+            }
+            "netif_rx" => {
+                let c = match self.rx_mode {
+                    RxMode::LocalStack => m.cost.tcp_rx_per_packet,
+                    RxMode::Bridge => m.cost.bridge_per_packet,
+                };
+                m.meter.charge(c);
+                let skb = SkBuff(cpu.arg(m, 0)? as u64);
+                if skb.0 != 0 {
+                    if let Some(f) = skb.parse_frame(m, self.space)? {
+                        self.rx_delivered.push(f);
+                    }
+                    self.free_skb(m, skb)?;
+                }
+                ret(cpu, 0);
+            }
+            "dma_map_single" => {
+                let c = m.cost.dma_map;
+                m.meter.charge(c);
+                let vaddr = cpu.arg(m, 0)? as u64;
+                let t = m.translate(self.space, ExecMode::Guest, vaddr, false)?;
+                ret(
+                    cpu,
+                    (t.entry.pfn * twin_machine::PAGE_SIZE + t.offset) as u32,
+                );
+            }
+            "dma_map_page" => {
+                let c = m.cost.dma_map;
+                m.meter.charge(c);
+                // The argument is already a machine address (guest page
+                // chained by the hypervisor, or a prior mapping).
+                let addr = cpu.arg(m, 0)?;
+                ret(cpu, addr);
+            }
+            "dma_unmap_single" | "dma_unmap_page" => {
+                let c = m.cost.dma_map;
+                m.meter.charge(c);
+                ret(cpu, 0);
+            }
+            "spin_trylock" => {
+                let c = m.cost.spinlock;
+                m.meter.charge(c);
+                let addr = cpu.arg(m, 0)? as u64;
+                let v = m.read_u32(self.space, ExecMode::Guest, addr)?;
+                if v == 0 {
+                    m.write_u32(self.space, ExecMode::Guest, addr, 1)?;
+                    ret(cpu, 1);
+                } else {
+                    ret(cpu, 0);
+                }
+            }
+            "spin_lock_irqsave" => {
+                let c = m.cost.spinlock + m.cost.cli_sti;
+                m.meter.charge(c);
+                let addr = cpu.arg(m, 0)? as u64;
+                if addr != 0 {
+                    m.write_u32(self.space, ExecMode::Guest, addr, 1)?;
+                }
+                ret(cpu, 0);
+            }
+            "spin_unlock_irqrestore" => {
+                let c = m.cost.spinlock;
+                m.meter.charge(c);
+                let addr = cpu.arg(m, 0)? as u64;
+                if addr != 0 {
+                    m.write_u32(self.space, ExecMode::Guest, addr, 0)?;
+                }
+                ret(cpu, 0);
+            }
+            "spin_lock_init" => {
+                let addr = cpu.arg(m, 0)? as u64;
+                if addr != 0 {
+                    m.write_u32(self.space, ExecMode::Guest, addr, 0)?;
+                }
+                ret(cpu, 0);
+            }
+            "eth_type_trans" => {
+                let c = m.cost.eth_type_trans;
+                m.meter.charge(c);
+                let skb = SkBuff(cpu.arg(m, 0)? as u64);
+                let data = skb.data(m, self.space)?;
+                let hi = m.read_virt(self.space, ExecMode::Guest, data + 12, twin_isa::Width::Byte)?;
+                let lo = m.read_virt(self.space, ExecMode::Guest, data + 13, twin_isa::Width::Byte)?;
+                let proto = (hi << 8) | lo;
+                skb.set_protocol(m, self.space, proto)?;
+                ret(cpu, proto);
+            }
+            "kmalloc" | "vmalloc" => {
+                let size = cpu.arg(m, 0)? as u64;
+                let addr = self.heap.kmalloc(m, size.max(1))?;
+                self.alloc_sizes.insert(addr, size.max(1));
+                ret(cpu, addr as u32);
+            }
+            "kfree" | "vfree" => {
+                let addr = cpu.arg(m, 0)? as u64;
+                if let Some(size) = self.alloc_sizes.remove(&addr) {
+                    self.heap.kfree(addr, size);
+                }
+                ret(cpu, 0);
+            }
+            "dma_alloc_coherent" => {
+                let size = cpu.arg(m, 0)? as u64;
+                let out = cpu.arg(m, 1)? as u64;
+                let (vaddr, machine) = self.heap.dma_alloc_coherent(m, size)?;
+                if out != 0 {
+                    m.write_u32(self.space, ExecMode::Guest, out, machine as u32)?;
+                }
+                ret(cpu, vaddr as u32);
+            }
+            "ioremap" => {
+                let dev = cpu.arg(m, 0)?;
+                ret(cpu, (MMIO_BASE + dev as u64 * MMIO_WINDOW) as u32);
+            }
+            "alloc_etherdev" => {
+                let addr = self.heap.kmalloc(m, 256)?;
+                self.alloc_sizes.insert(addr, 256);
+                ret(cpu, addr as u32);
+            }
+            "register_netdev" => {
+                let dev = cpu.arg(m, 0)? as u64;
+                self.registered_netdevs.push(dev);
+                ret(cpu, 0);
+            }
+            "request_irq" => {
+                let irq = cpu.arg(m, 0)?;
+                let handler = cpu.arg(m, 1)? as u64;
+                self.irq_handlers.insert(irq, handler);
+                ret(cpu, 0);
+            }
+            "mod_timer" => {
+                let delta = cpu.arg(m, 0)? as u64;
+                let handler = cpu.arg(m, 1)? as u64;
+                self.timers.retain(|t| t.handler != handler);
+                self.timers.push(Timer {
+                    handler,
+                    expires_at: self.tick + delta,
+                });
+                ret(cpu, 0);
+            }
+            "del_timer" | "del_timer_sync" => {
+                let handler = cpu.arg(m, 0)? as u64;
+                self.timers.retain(|t| t.handler != handler);
+                ret(cpu, 0);
+            }
+            "netif_start_queue" | "netif_wake_queue" => {
+                self.queue_stopped = false;
+                ret(cpu, 0);
+            }
+            "netif_stop_queue" => {
+                self.queue_stopped = true;
+                ret(cpu, 0);
+            }
+            "netif_queue_stopped" => {
+                ret(cpu, u32::from(self.queue_stopped));
+            }
+            "printk" => {
+                self.printk_count += 1;
+                m.meter.charge(120);
+                ret(cpu, 0);
+            }
+            "memcpy" => {
+                let dst = cpu.arg(m, 0)? as u64;
+                let src = cpu.arg(m, 1)? as u64;
+                let n = cpu.arg(m, 2)? as u64;
+                if dst != 0 && src != 0 && n > 0 {
+                    let cycles = m.cost.copy_cycles(n);
+                    m.meter.charge(cycles);
+                    m.copy_virt(
+                        (self.space, ExecMode::Guest, src),
+                        (self.space, ExecMode::Guest, dst),
+                        n,
+                    )?;
+                }
+                ret(cpu, dst as u32);
+            }
+            "memset" => {
+                let dst = cpu.arg(m, 0)? as u64;
+                let val = cpu.arg(m, 1)?;
+                let n = cpu.arg(m, 2)? as u64;
+                if dst != 0 && n > 0 {
+                    let cycles = m.cost.copy_cycles(n);
+                    m.meter.charge(cycles);
+                    for i in 0..n {
+                        m.write_virt(
+                            self.space,
+                            ExecMode::Guest,
+                            dst + i,
+                            twin_isa::Width::Byte,
+                            val,
+                        )?;
+                    }
+                }
+                ret(cpu, dst as u32);
+            }
+            "strcpy" => {
+                let dst = cpu.arg(m, 0)? as u64;
+                let src = cpu.arg(m, 1)? as u64;
+                if dst != 0 && src != 0 {
+                    for i in 0..64 {
+                        let b = m.read_virt(self.space, ExecMode::Guest, src + i, twin_isa::Width::Byte)?;
+                        m.write_virt(self.space, ExecMode::Guest, dst + i, twin_isa::Width::Byte, b)?;
+                        if b == 0 {
+                            break;
+                        }
+                    }
+                }
+                ret(cpu, dst as u32);
+            }
+            "skb_reserve" => {
+                let skb = SkBuff(cpu.arg(m, 0)? as u64);
+                let n = cpu.arg(m, 1)?;
+                if skb.0 != 0 {
+                    let data = skb.data(m, self.space)? as u32;
+                    m.write_u32(self.space, ExecMode::Guest, skb.0 + offsets::DATA, data + n)?;
+                }
+                ret(cpu, 0);
+            }
+            "skb_put" => {
+                let skb = SkBuff(cpu.arg(m, 0)? as u64);
+                let n = cpu.arg(m, 1)?;
+                if skb.0 != 0 {
+                    let len = skb.len(m, self.space)?;
+                    skb.set_len(m, self.space, len + n)?;
+                    let data = skb.data(m, self.space)?;
+                    ret(cpu, (data as u32) + len);
+                } else {
+                    ret(cpu, 0);
+                }
+            }
+            "jiffies_read" => ret(cpu, self.tick as u32),
+            "cpu_to_le32" | "le32_to_cpu" => {
+                let v = cpu.arg(m, 0)?;
+                ret(cpu, v);
+            }
+            "mii_link_ok" | "netif_carrier_ok" | "capable" | "ethtool_op_get_link" => {
+                m.meter.charge(40);
+                ret(cpu, 1);
+            }
+            "crc32" => {
+                let v = cpu.arg(m, 0)?;
+                m.meter.charge(60);
+                ret(cpu, v.wrapping_mul(2654435761));
+            }
+            // The remaining long tail: bookkeeping-only kernel services.
+            _ => {
+                m.meter.charge(35);
+                ret(cpu, 0);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Every support routine the dom0 kernel model implements (the driver's
+/// import surface). The first ten are the paper's Table 1 fast-path set.
+pub const KNOWN_ROUTINES: &[&str] = &[
+    // Table 1 (fast path).
+    "netdev_alloc_skb",
+    "dev_kfree_skb_any",
+    "netif_rx",
+    "dma_map_single",
+    "dma_map_page",
+    "dma_unmap_single",
+    "dma_unmap_page",
+    "spin_trylock",
+    "spin_unlock_irqrestore",
+    "eth_type_trans",
+    // Everything else.
+    "dev_kfree_skb",
+    "kfree_skb",
+    "dev_alloc_skb",
+    "pci_enable_device",
+    "pci_disable_device",
+    "pci_set_master",
+    "pci_request_regions",
+    "pci_release_regions",
+    "pci_read_config_dword",
+    "pci_write_config_dword",
+    "pci_read_config_word",
+    "pci_write_config_word",
+    "pci_set_drvdata",
+    "pci_get_drvdata",
+    "pci_enable_msi",
+    "pci_disable_msi",
+    "ioremap",
+    "iounmap",
+    "request_region",
+    "release_region",
+    "alloc_etherdev",
+    "free_netdev",
+    "register_netdev",
+    "unregister_netdev",
+    "netdev_priv",
+    "netif_start_queue",
+    "netif_stop_queue",
+    "netif_wake_queue",
+    "netif_queue_stopped",
+    "netif_carrier_on",
+    "netif_carrier_off",
+    "netif_carrier_ok",
+    "netif_device_attach",
+    "netif_device_detach",
+    "request_irq",
+    "free_irq",
+    "synchronize_irq",
+    "disable_irq",
+    "enable_irq",
+    "kmalloc",
+    "kfree",
+    "vmalloc",
+    "vfree",
+    "dma_alloc_coherent",
+    "dma_free_coherent",
+    "dma_sync_single_for_cpu",
+    "dma_sync_single_for_device",
+    "spin_lock_init",
+    "spin_lock_irqsave",
+    "mutex_lock",
+    "mutex_unlock",
+    "init_timer",
+    "mod_timer",
+    "del_timer",
+    "del_timer_sync",
+    "round_jiffies",
+    "msleep",
+    "mdelay",
+    "udelay",
+    "schedule_work",
+    "cancel_work_sync",
+    "flush_scheduled_work",
+    "printk",
+    "memcpy",
+    "memset",
+    "memcmp",
+    "strcpy",
+    "strlen",
+    "snprintf",
+    "capable",
+    "copy_to_user",
+    "copy_from_user",
+    "mii_ethtool_gset",
+    "mii_ethtool_sset",
+    "mii_link_ok",
+    "mii_check_link",
+    "generic_mii_ioctl",
+    "crc32",
+    "set_bit",
+    "clear_bit",
+    "test_bit",
+    "skb_reserve",
+    "skb_put",
+    "skb_push",
+    "skb_pull",
+    "ethtool_op_get_link",
+    "random32",
+    "jiffies_read",
+    "cpu_to_le32",
+    "le32_to_cpu",
+];
+
+/// The paper's Table 1: routines called during error-free execution of
+/// the transmit and receive paths of the e1000 driver.
+pub const TABLE1_FASTPATH: &[&str] = &[
+    "netdev_alloc_skb",
+    "dev_kfree_skb_any",
+    "netif_rx",
+    "dma_map_single",
+    "dma_map_page",
+    "dma_unmap_single",
+    "dma_unmap_page",
+    "spin_trylock",
+    "spin_unlock_irqrestore",
+    "eth_type_trans",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_routines_cover_fastpath_and_are_large() {
+        for f in TABLE1_FASTPATH {
+            assert!(KNOWN_ROUTINES.contains(f), "{f} missing");
+        }
+        assert!(KNOWN_ROUTINES.len() >= 95, "{}", KNOWN_ROUTINES.len());
+    }
+
+    #[test]
+    fn trace_phases() {
+        let mut t = Trace::new();
+        t.enabled = true;
+        t.phase = "init".into();
+        t.record("kmalloc");
+        t.phase = "fastpath".into();
+        t.record("netif_rx");
+        t.record("kmalloc"); // also on fast path now
+        assert_eq!(t.names_in_phase("fastpath").len(), 2);
+        assert_eq!(t.all_names().len(), 2);
+        assert!(t.names_in_phase("init").contains("kmalloc"));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut m = Machine::new();
+        let s = m.new_space();
+        let mut k = Dom0Kernel::new(&mut m, s, 4).unwrap();
+        k.timers.push(Timer {
+            handler: 0x100,
+            expires_at: 5,
+        });
+        k.timers.push(Timer {
+            handler: 0x200,
+            expires_at: 10,
+        });
+        k.tick = 4;
+        assert!(k.take_due_timers().is_empty());
+        k.tick = 7;
+        let due = k.take_due_timers();
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].handler, 0x100);
+        assert_eq!(k.timers.len(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Simulated physical memory with a frame allocator.
+
+use std::collections::BTreeSet;
+
+/// Page size in bytes (4 KiB, matching the paper's x86-32 target).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Simulated physical memory: a flat byte array divided into frames, plus a
+/// free-list allocator.
+///
+/// Frames are identified by physical frame number (`pfn`); byte `i` of
+/// frame `f` lives at physical address `f * PAGE_SIZE + i`.
+#[derive(Debug)]
+pub struct PhysMem {
+    bytes: Vec<u8>,
+    free: BTreeSet<u64>,
+    total_frames: usize,
+}
+
+impl PhysMem {
+    /// Creates memory with `frames` frames, all free.
+    pub fn new(frames: usize) -> PhysMem {
+        PhysMem {
+            bytes: vec![0; frames * PAGE_SIZE as usize],
+            free: (0..frames as u64).collect(),
+            total_frames: frames,
+        }
+    }
+
+    /// Total number of frames.
+    pub fn total_frames(&self) -> usize {
+        self.total_frames
+    }
+
+    /// Number of currently free frames.
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates the lowest-numbered free frame, zeroing it.
+    /// Returns `None` when memory is exhausted.
+    pub fn alloc_frame(&mut self) -> Option<u64> {
+        let pfn = *self.free.iter().next()?;
+        self.free.remove(&pfn);
+        let start = (pfn * PAGE_SIZE) as usize;
+        self.bytes[start..start + PAGE_SIZE as usize].fill(0);
+        Some(pfn)
+    }
+
+    /// Returns a frame to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is already free or out of range (double free is
+    /// a bug in the simulator itself, not a modeled driver bug).
+    pub fn free_frame(&mut self, pfn: u64) {
+        assert!((pfn as usize) < self.total_frames, "pfn {pfn} out of range");
+        assert!(self.free.insert(pfn), "double free of pfn {pfn}");
+    }
+
+    /// Reads one byte at a physical address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range physical addresses (simulator bug).
+    #[inline]
+    pub fn read_u8(&self, paddr: u64) -> u8 {
+        self.bytes[paddr as usize]
+    }
+
+    /// Writes one byte at a physical address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range physical addresses (simulator bug).
+    #[inline]
+    pub fn write_u8(&mut self, paddr: u64, val: u8) {
+        self.bytes[paddr as usize] = val;
+    }
+
+    /// Reads a little-endian u32 at a physical address.
+    pub fn read_u32(&self, paddr: u64) -> u32 {
+        u32::from_le_bytes(
+            self.bytes[paddr as usize..paddr as usize + 4]
+                .try_into()
+                .expect("4 bytes"),
+        )
+    }
+
+    /// Writes a little-endian u32 at a physical address.
+    pub fn write_u32(&mut self, paddr: u64, val: u32) {
+        self.bytes[paddr as usize..paddr as usize + 4].copy_from_slice(&val.to_le_bytes());
+    }
+
+    /// Copies a byte slice into physical memory at `paddr`.
+    pub fn write_bytes(&mut self, paddr: u64, data: &[u8]) {
+        self.bytes[paddr as usize..paddr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes starting at `paddr`.
+    pub fn read_bytes(&self, paddr: u64, len: usize) -> &[u8] {
+        &self.bytes[paddr as usize..paddr as usize + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zeroes_and_reuses() {
+        let mut pm = PhysMem::new(4);
+        let a = pm.alloc_frame().unwrap();
+        pm.write_u8(a * PAGE_SIZE, 0xab);
+        pm.free_frame(a);
+        let b = pm.alloc_frame().unwrap();
+        assert_eq!(a, b, "lowest frame is reused");
+        assert_eq!(pm.read_u8(b * PAGE_SIZE), 0, "frame is zeroed on alloc");
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut pm = PhysMem::new(2);
+        assert!(pm.alloc_frame().is_some());
+        assert!(pm.alloc_frame().is_some());
+        assert!(pm.alloc_frame().is_none());
+        assert_eq!(pm.free_frames(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut pm = PhysMem::new(2);
+        let a = pm.alloc_frame().unwrap();
+        pm.free_frame(a);
+        pm.free_frame(a);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let mut pm = PhysMem::new(1);
+        pm.write_u32(12, 0xdead_beef);
+        assert_eq!(pm.read_u32(12), 0xdead_beef);
+        assert_eq!(pm.read_u8(12), 0xef, "little endian");
+    }
+
+    #[test]
+    fn bulk_bytes() {
+        let mut pm = PhysMem::new(1);
+        pm.write_bytes(100, b"hello");
+        assert_eq!(pm.read_bytes(100, 5), b"hello");
+    }
+}

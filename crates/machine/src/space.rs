@@ -1,0 +1,153 @@
+//! Per-domain address spaces: page tables mapping virtual pages to frames
+//! or MMIO regions.
+
+use crate::mem::PAGE_SIZE;
+use std::collections::HashMap;
+
+/// Identifier of an address space (one per domain).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SpaceId(pub usize);
+
+/// What a mapped page refers to.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PageKind {
+    /// Ordinary RAM (the entry's `pfn` is a physical frame).
+    Ram,
+    /// Memory-mapped I/O owned by device `id`; loads/stores are routed to
+    /// [`crate::Env::mmio_read`] / [`crate::Env::mmio_write`].
+    Mmio(u32),
+}
+
+/// A page table entry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PageEntry {
+    /// Physical frame number (for [`PageKind::Ram`]) or device-relative
+    /// page index (for [`PageKind::Mmio`]).
+    pub pfn: u64,
+    /// Whether stores are permitted.
+    pub writable: bool,
+    /// RAM or MMIO.
+    pub kind: PageKind,
+}
+
+impl PageEntry {
+    /// A RAM entry.
+    pub fn ram(pfn: u64, writable: bool) -> PageEntry {
+        PageEntry {
+            pfn,
+            writable,
+            kind: PageKind::Ram,
+        }
+    }
+
+    /// An MMIO entry for device `dev`, page `page` of its register window.
+    pub fn mmio(dev: u32, page: u64) -> PageEntry {
+        PageEntry {
+            pfn: page,
+            writable: true,
+            kind: PageKind::Mmio(dev),
+        }
+    }
+}
+
+/// Result of a successful translation.
+#[derive(Copy, Clone, Debug)]
+pub struct Translation {
+    /// The page entry.
+    pub entry: PageEntry,
+    /// Offset within the page.
+    pub offset: u64,
+}
+
+/// A sparse page table: virtual page number → entry.
+#[derive(Clone, Debug, Default)]
+pub struct PageTable {
+    entries: HashMap<u64, PageEntry>,
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Maps the page containing `vaddr` (which is rounded down).
+    /// Returns the previous entry, if any.
+    pub fn map(&mut self, vaddr: u64, entry: PageEntry) -> Option<PageEntry> {
+        self.entries.insert(vaddr / PAGE_SIZE, entry)
+    }
+
+    /// Removes the mapping for the page containing `vaddr`.
+    pub fn unmap(&mut self, vaddr: u64) -> Option<PageEntry> {
+        self.entries.remove(&(vaddr / PAGE_SIZE))
+    }
+
+    /// Looks up the entry for the page containing `vaddr`.
+    pub fn lookup(&self, vaddr: u64) -> Option<PageEntry> {
+        self.entries.get(&(vaddr / PAGE_SIZE)).copied()
+    }
+
+    /// Whether the page containing `vaddr` is mapped.
+    pub fn is_mapped(&self, vaddr: u64) -> bool {
+        self.entries.contains_key(&(vaddr / PAGE_SIZE))
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over `(virtual page base address, entry)` pairs in
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, PageEntry)> + '_ {
+        self.entries.iter().map(|(vpn, e)| (vpn * PAGE_SIZE, *e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_unmap() {
+        let mut t = PageTable::new();
+        assert!(t.lookup(0x1000).is_none());
+        t.map(0x1234, PageEntry::ram(7, true));
+        // Same page, any offset.
+        assert_eq!(t.lookup(0x1000).unwrap().pfn, 7);
+        assert_eq!(t.lookup(0x1fff).unwrap().pfn, 7);
+        assert!(t.lookup(0x2000).is_none());
+        assert!(t.unmap(0x1800).is_some());
+        assert!(t.lookup(0x1000).is_none());
+    }
+
+    #[test]
+    fn remap_returns_previous() {
+        let mut t = PageTable::new();
+        assert!(t.map(0x1000, PageEntry::ram(1, true)).is_none());
+        let prev = t.map(0x1000, PageEntry::ram(2, false)).unwrap();
+        assert_eq!(prev.pfn, 1);
+        let cur = t.lookup(0x1000).unwrap();
+        assert_eq!(cur.pfn, 2);
+        assert!(!cur.writable);
+    }
+
+    #[test]
+    fn mmio_entries() {
+        let mut t = PageTable::new();
+        t.map(0xE000_0000, PageEntry::mmio(3, 0));
+        let e = t.lookup(0xE000_0000).unwrap();
+        assert_eq!(e.kind, PageKind::Mmio(3));
+    }
+
+    #[test]
+    fn iter_counts() {
+        let mut t = PageTable::new();
+        t.map(0x1000, PageEntry::ram(1, true));
+        t.map(0x3000, PageEntry::ram(2, true));
+        assert_eq!(t.mapped_pages(), 2);
+        let mut bases: Vec<u64> = t.iter().map(|(b, _)| b).collect();
+        bases.sort_unstable();
+        assert_eq!(bases, vec![0x1000, 0x3000]);
+    }
+}

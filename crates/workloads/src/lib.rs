@@ -1,0 +1,15 @@
+//! # twin-workloads — the paper's workloads (§6)
+//!
+//! * [`netperf`] — the TCP streaming microbenchmark (§6.2): maximum
+//!   aggregate transmit/receive throughput across five gigabit NICs;
+//! * [`specweb`] — the SPECweb99 static file-set (§6.3);
+//! * [`webserver`] — the knot web server + httperf open-loop client model
+//!   that produces Figure 9's throughput-vs-request-rate curves.
+
+pub mod netperf;
+pub mod specweb;
+pub mod webserver;
+
+pub use netperf::{run_netperf, Direction, NetperfResult};
+pub use specweb::{FileSet, SPECWEB_MEAN_BYTES};
+pub use webserver::{run_webserver, WebPoint, WebServerModel};

@@ -1,0 +1,119 @@
+//! The netperf-like TCP streaming microbenchmark (paper §6.2).
+//!
+//! "The microbenchmark workload measures the maximum TCP streaming
+//! throughput achievable over a small set of TCP connections" — one
+//! stream per NIC, MTU-sized segments, measured in CPU-scaled units.
+//! The harness runs the real per-packet path in the simulator to obtain
+//! cycles/packet, then converts to aggregate throughput over the
+//! five-NIC testbed exactly as [`twindrivers::measure::throughput`]
+//! describes.
+
+use twindrivers::{throughput, Breakdown, Config, System, SystemError, Throughput};
+
+/// Transmit or receive.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Server transmits to the clients.
+    Transmit,
+    /// Server receives from the clients.
+    Receive,
+}
+
+impl Direction {
+    /// Human label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Transmit => "transmit",
+            Direction::Receive => "receive",
+        }
+    }
+}
+
+/// Result of one netperf run.
+#[derive(Clone, Debug)]
+pub struct NetperfResult {
+    /// Configuration measured.
+    pub config: Config,
+    /// Direction.
+    pub direction: Direction,
+    /// Per-packet cycle breakdown.
+    pub breakdown: Breakdown,
+    /// Aggregate throughput across the 5-NIC testbed.
+    pub throughput: Throughput,
+}
+
+impl NetperfResult {
+    /// One figure-style line.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>10}: {:>6.0} Mb/s @ {:>5.1}% CPU   ({:.0} cycles/packet)",
+            self.config.label(),
+            self.throughput.mbps,
+            self.throughput.cpu_util * 100.0,
+            self.breakdown.total(),
+        )
+    }
+}
+
+/// Runs the netperf microbenchmark for one configuration.
+///
+/// # Errors
+///
+/// Propagates system build and per-packet errors.
+pub fn run_netperf(
+    config: Config,
+    direction: Direction,
+    packets: u64,
+) -> Result<NetperfResult, SystemError> {
+    let mut sys = System::build(config)?;
+    let breakdown = match direction {
+        Direction::Transmit => sys.measure_tx(packets)?,
+        Direction::Receive => sys.measure_rx(packets)?,
+    };
+    let t = throughput(breakdown.total(), twindrivers::TESTBED_NICS);
+    Ok(NetperfResult {
+        config,
+        direction,
+        breakdown,
+        throughput: t,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmit_figure5_shape() {
+        // Paper Fig. 5: Linux 4690 / dom0 4683 / twin 3902 / domU 1619.
+        let linux = run_netperf(Config::NativeLinux, Direction::Transmit, 60).unwrap();
+        let twin = run_netperf(Config::TwinDrivers, Direction::Transmit, 60).unwrap();
+        let domu = run_netperf(Config::XenGuest, Direction::Transmit, 60).unwrap();
+        assert!(linux.throughput.mbps >= 4600.0);
+        assert!(twin.throughput.mbps / domu.throughput.mbps > 2.0, "2.4x in the paper");
+        assert!(twin.throughput.mbps < linux.throughput.mbps);
+        assert!(
+            twin.throughput.mbps / linux.throughput.mbps > 0.55,
+            "paper: within 64% CPU-scaled"
+        );
+    }
+
+    #[test]
+    fn receive_figure6_shape() {
+        // Paper Fig. 6: Linux 3010 / dom0 2839 / twin 2022 / domU 928.
+        let linux = run_netperf(Config::NativeLinux, Direction::Receive, 60).unwrap();
+        let twin = run_netperf(Config::TwinDrivers, Direction::Receive, 60).unwrap();
+        let domu = run_netperf(Config::XenGuest, Direction::Receive, 60).unwrap();
+        assert!(twin.throughput.mbps / domu.throughput.mbps > 1.7, "2.1x in the paper");
+        assert!(twin.throughput.mbps < linux.throughput.mbps);
+        assert!(linux.throughput.cpu_util == 1.0, "receive is CPU-bound everywhere");
+    }
+
+    #[test]
+    fn rows_render() {
+        let r = run_netperf(Config::XenDom0, Direction::Transmit, 30).unwrap();
+        let row = r.row();
+        assert!(row.contains("dom0"));
+        assert!(row.contains("Mb/s"));
+    }
+}

@@ -1,0 +1,112 @@
+//! SPECweb99 static-content file-set model (paper §6.3).
+//!
+//! The paper's web workload serves "a static set of files generated from
+//! the file size distribution specified in the static content part of
+//! SPECweb'99". That distribution has four file classes with fixed
+//! access weights — 35% / 50% / 14% / 1% — each containing nine files of
+//! 0.1–0.9 KB, 1–9 KB, 10–90 KB and 100–900 KB respectively, accessed
+//! uniformly within a class. The mean transfer is ≈ 14.7 KB.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Expected mean file size of the distribution, in bytes
+/// (0.35·0.5 KB + 0.50·5 KB + 0.14·50 KB + 0.01·500 KB = 14.675 KB).
+pub const SPECWEB_MEAN_BYTES: f64 = 14_675.0;
+
+/// Class access weights (percent).
+pub const CLASS_WEIGHTS: [u32; 4] = [35, 50, 14, 1];
+
+/// Base file size per class, bytes (files are 1–9 multiples of this).
+pub const CLASS_BASE_BYTES: [u64; 4] = [100, 1_000, 10_000, 100_000];
+
+/// A generated SPECweb99-like file set plus a deterministic sampler.
+#[derive(Debug)]
+pub struct FileSet {
+    files: Vec<u64>, // 36 file sizes, indexed class*9 + (i-1)
+    rng: StdRng,
+}
+
+impl FileSet {
+    /// Builds the 36-file set and a sampler with a fixed seed
+    /// (deterministic experiments).
+    pub fn new(seed: u64) -> FileSet {
+        let mut files = Vec::with_capacity(36);
+        for class in 0..4 {
+            for i in 1..=9u64 {
+                files.push(CLASS_BASE_BYTES[class] * i);
+            }
+        }
+        FileSet {
+            files,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// All 36 file sizes.
+    pub fn files(&self) -> &[u64] {
+        &self.files
+    }
+
+    /// Total size of the file set in bytes (it "fits in memory and does
+    /// not stress the disk I/O subsystem").
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().sum()
+    }
+
+    /// Samples one request's file size according to the class weights.
+    pub fn sample(&mut self) -> u64 {
+        let p: u32 = self.rng.gen_range(0..100);
+        let class = if p < 35 {
+            0
+        } else if p < 85 {
+            1
+        } else if p < 99 {
+            2
+        } else {
+            3
+        };
+        let i = self.rng.gen_range(0..9);
+        self.files[class * 9 + i]
+    }
+
+    /// Empirical mean of `n` samples.
+    pub fn empirical_mean(&mut self, n: usize) -> f64 {
+        let total: u64 = (0..n).map(|_| self.sample()).sum();
+        total as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_set_shape() {
+        let fs = FileSet::new(1);
+        assert_eq!(fs.files().len(), 36);
+        assert_eq!(fs.files()[0], 100);
+        assert_eq!(fs.files()[8], 900);
+        assert_eq!(fs.files()[9], 1_000);
+        assert_eq!(fs.files()[35], 900_000);
+        // Total ≈ 4.995 MB: fits in memory.
+        assert_eq!(fs.total_bytes(), 45 * (100 + 1_000 + 10_000 + 100_000));
+    }
+
+    #[test]
+    fn sampling_matches_expected_mean() {
+        let mut fs = FileSet::new(42);
+        let mean = fs.empirical_mean(60_000);
+        let err = (mean - SPECWEB_MEAN_BYTES).abs() / SPECWEB_MEAN_BYTES;
+        assert!(err < 0.12, "mean {mean:.0} deviates {err:.2} from expected");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = FileSet::new(7);
+        let mut b = FileSet::new(7);
+        let va: Vec<u64> = (0..100).map(|_| a.sample()).collect();
+        let vb: Vec<u64> = (0..100).map(|_| b.sample()).collect();
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,83 @@
+//! Domains: dom0 and guests, with their address spaces, virtual
+//! interrupt state and (for the TwinDrivers path) per-guest receive
+//! queues.
+
+use twin_machine::SpaceId;
+use twin_net::{Frame, MacAddr};
+
+/// Domain identifier; dom0 is always id 0.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DomId(pub u32);
+
+impl DomId {
+    /// The driver domain.
+    pub const DOM0: DomId = DomId(0);
+}
+
+/// Kind of domain.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DomainKind {
+    /// The privileged driver domain.
+    Driver,
+    /// An unprivileged guest.
+    Guest,
+}
+
+/// A virtual machine: address space, MAC identity, virtual interrupt
+/// flag, pending events and the TwinDrivers receive queue.
+#[derive(Debug)]
+pub struct Domain {
+    /// Identifier.
+    pub id: DomId,
+    /// Address space.
+    pub space: SpaceId,
+    /// Driver domain or guest.
+    pub kind: DomainKind,
+    /// MAC address of the domain's (virtual) interface.
+    pub mac: MacAddr,
+    /// Virtual interrupt-enable flag — the paper's §4.4: "the dom0 kernel
+    /// masks and unmasks a virtual interrupt flag instead of the real CPU
+    /// interrupt flag".
+    pub virq_enabled: bool,
+    /// Pending virtual interrupts (event-channel ports).
+    pub pending_virqs: Vec<u32>,
+    /// Frames demultiplexed to this guest by the hypervisor driver,
+    /// waiting to be copied in when the guest is scheduled (paper §5.3).
+    pub rx_queue: Vec<Frame>,
+    /// Frames fully delivered into the guest (after the copy).
+    pub rx_delivered: Vec<Frame>,
+}
+
+impl Domain {
+    /// Creates a domain.
+    pub fn new(id: DomId, space: SpaceId, kind: DomainKind, mac: MacAddr) -> Domain {
+        Domain {
+            id,
+            space,
+            kind,
+            mac,
+            virq_enabled: true,
+            pending_virqs: Vec::new(),
+            rx_queue: Vec::new(),
+            rx_delivered: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dom0_is_id_zero() {
+        assert_eq!(DomId::DOM0, DomId(0));
+    }
+
+    #[test]
+    fn new_domain_defaults() {
+        let d = Domain::new(DomId(1), SpaceId(1), DomainKind::Guest, MacAddr::for_guest(1));
+        assert!(d.virq_enabled);
+        assert!(d.pending_virqs.is_empty());
+        assert!(d.rx_queue.is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! Hypervisor-side support routines (paper §4.3) and the upcall
+//! mechanism (paper §4.2).
+//!
+//! The hypervisor implements only the ten fast-path routines of Table 1;
+//! everything else the driver calls is forwarded to dom0 through a
+//! synchronous upcall: save parameters, switch to the upcall stack,
+//! (domain-switch to dom0 if running in a guest context), deliver a
+//! synchronous virtual interrupt, run the dom0 routine, return via a
+//! hypercall, switch back. For Figure 10, any subset of the fast-path
+//! routines can be *forced* onto the upcall path.
+
+use crate::domain::DomId;
+use crate::xen::Xen;
+use std::collections::BTreeSet;
+use twin_kernel::{Dom0Kernel, SkBuff, TABLE1_FASTPATH};
+use twin_machine::{CostDomain, Cpu, ExecMode, Fault, Machine};
+use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
+
+/// Event-channel port used for upcall requests.
+pub const UPCALL_PORT: u32 = 31;
+
+/// Hypervisor support state: which routines are forced to upcall, and
+/// counters.
+#[derive(Debug, Default)]
+pub struct HyperSupport {
+    /// Fast-path routines forced onto the upcall path (Figure 10 sweep).
+    pub upcall_routines: BTreeSet<String>,
+    /// Upcalls performed.
+    pub upcalls: u64,
+    /// Frames dropped because no guest matched the destination MAC.
+    pub demux_misses: u64,
+}
+
+impl HyperSupport {
+    /// Creates support state with every Table 1 routine implemented in
+    /// the hypervisor (the paper's best configuration: "no upcalls were
+    /// made").
+    pub fn new() -> HyperSupport {
+        HyperSupport::default()
+    }
+
+    /// Forces the first `n` fast-path routines (in Table 1 order,
+    /// excluding `netif_rx`, which the paper always keeps native) onto
+    /// the upcall path — the Figure 10 X axis.
+    pub fn set_upcall_count(&mut self, n: usize) {
+        self.upcall_routines = TABLE1_FASTPATH
+            .iter()
+            .filter(|r| **r != "netif_rx")
+            .take(n)
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    /// Handles an extern call made by the *hypervisor* driver instance.
+    /// Returns `None` if the name is not an SVM helper, a fast-path
+    /// routine, or a known dom0 routine (i.e. truly unknown).
+    ///
+    /// Dispatch order matches the paper's loader resolution (§5.2):
+    /// SVM helpers → hypervisor implementations → upcall stubs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_extern(
+        &mut self,
+        name: &str,
+        m: &mut Machine,
+        cpu: &mut Cpu,
+        kernel: &mut Dom0Kernel,
+        xen: &mut Xen,
+        svm: &mut Svm,
+    ) -> Option<Result<(), Fault>> {
+        match name {
+            SLOW_PATH_SYMBOL => {
+                let r = (|| {
+                    let addr = cpu.arg(m, 0)? as u64;
+                    svm.slow_path(m, addr)?;
+                    Ok(())
+                })();
+                return Some(r);
+            }
+            CALL_XLAT_SYMBOL => {
+                let r = (|| {
+                    let t = cpu.arg(m, 0)? as u64;
+                    let x = svm.translate_call(m, t)?;
+                    cpu.set_reg(twin_isa::Reg::Eax, x as u32);
+                    Ok(())
+                })();
+                return Some(r);
+            }
+            twin_rewriter::STACK_CHECK_SYMBOL => {
+                let r = (|| {
+                    let addr = cpu.arg(m, 0)? as u64;
+                    let esp = cpu.reg(twin_isa::Reg::Esp) as u64;
+                    // Accept accesses within one stack extent of esp.
+                    let lo = esp.saturating_sub(4096 * 2);
+                    let hi = esp + 4096 * 2;
+                    if addr < lo || addr >= hi {
+                        return Err(Fault::EnvFault(format!(
+                            "stack check: access at {addr:#x} outside stack window"
+                        )));
+                    }
+                    Ok(())
+                })();
+                return Some(r);
+            }
+            _ => {}
+        }
+
+        let is_fastpath = TABLE1_FASTPATH.contains(&name);
+        let force_upcall = self.upcall_routines.contains(name);
+        if is_fastpath && !force_upcall {
+            kernel.trace.record(name);
+            m.meter.push_domain(CostDomain::Xen);
+            let r = self.native_impl(name, m, cpu, kernel, xen, svm);
+            m.meter.pop_domain();
+            return Some(r);
+        }
+        // Upcall stub: any routine dom0 implements (including forced
+        // fast-path routines) is forwarded.
+        if twin_kernel::KNOWN_ROUTINES.contains(&name) {
+            return Some(self.upcall(name, m, cpu, kernel, xen));
+        }
+        None
+    }
+
+    /// The upcall path (paper §4.2).
+    fn upcall(
+        &mut self,
+        name: &str,
+        m: &mut Machine,
+        cpu: &mut Cpu,
+        kernel: &mut Dom0Kernel,
+        xen: &mut Xen,
+    ) -> Result<(), Fault> {
+        self.upcalls += 1;
+        m.meter.count_event("upcall");
+        // Stub: save parameters, switch to the upcall stack.
+        let c = m.cost.upcall_overhead;
+        m.meter.charge_to(CostDomain::Xen, c);
+        let back = xen.current;
+        // Synchronous switch to dom0 if invoked from a guest context.
+        xen.switch_to(m, DomId::DOM0);
+        // Synchronous virtual interrupt to the dom0 upcall handler.
+        xen.send_virq(m, DomId::DOM0, UPCALL_PORT);
+        xen.domain_mut(DomId::DOM0).pending_virqs.pop();
+        // The dom0 handler recovers parameters and invokes the support
+        // routine; heap and registers are identical by construction, and
+        // the stack parameters are read through the same cpu state.
+        match kernel.handle_extern(name, m, cpu) {
+            Some(r) => r?,
+            None => return Err(Fault::UnknownExtern(name.to_string())),
+        }
+        // Return to the stub via hypercall, then back to the guest.
+        xen.hypercall(m);
+        xen.switch_to(m, back);
+        Ok(())
+    }
+
+    /// Hypervisor-native implementations of the Table 1 routines.
+    /// These use the stlb explicitly for driver-data access (modeled by
+    /// charging the fast-path lookup) and the dom0-reserved buffer pool.
+    fn native_impl(
+        &mut self,
+        name: &str,
+        m: &mut Machine,
+        cpu: &mut Cpu,
+        kernel: &mut Dom0Kernel,
+        xen: &mut Xen,
+        svm: &mut Svm,
+    ) -> Result<(), Fault> {
+        use twin_isa::Reg;
+        let dom0 = kernel.space;
+        match name {
+            "netdev_alloc_skb" => {
+                let c = m.cost.skb_alloc;
+                m.meter.charge(c);
+                svm.charge_fast_path(m);
+                let skb = kernel
+                    .hyper_pool
+                    .as_mut()
+                    .and_then(|p| p.alloc(m, dom0));
+                cpu.set_reg(Reg::Eax, skb.map(|s| s.0 as u32).unwrap_or(0));
+            }
+            "dev_kfree_skb_any" => {
+                let c = m.cost.skb_alloc / 2;
+                m.meter.charge(c);
+                let skb = SkBuff(cpu.arg(m, 0)? as u64);
+                if skb.0 != 0 {
+                    kernel.free_skb(m, skb)?;
+                }
+                cpu.set_reg(Reg::Eax, 0);
+            }
+            "netif_rx" => {
+                // The hypervisor's receive path: demultiplex on the
+                // destination MAC and queue to the guest (paper §5.3).
+                let demux_cycles = 220;
+                m.meter.charge(demux_cycles);
+                svm.charge_fast_path(m);
+                let skb = SkBuff(cpu.arg(m, 0)? as u64);
+                if skb.0 != 0 {
+                    if let Some(frame) = skb.parse_frame(m, dom0)? {
+                        match xen.guest_by_mac(frame.dst) {
+                            Some(gid) => xen.domain_mut(gid).rx_queue.push(frame),
+                            None => {
+                                self.demux_misses += 1;
+                                m.meter.count_event("demux_miss");
+                            }
+                        }
+                    }
+                    kernel.free_skb(m, skb)?;
+                }
+                cpu.set_reg(Reg::Eax, 0);
+            }
+            "dma_map_single" => {
+                let c = m.cost.dma_map;
+                m.meter.charge(c);
+                let vaddr = cpu.arg(m, 0)? as u64;
+                let t = m.translate(dom0, ExecMode::Guest, vaddr, false)?;
+                cpu.set_reg(
+                    Reg::Eax,
+                    (t.entry.pfn * twin_machine::PAGE_SIZE + t.offset) as u32,
+                );
+            }
+            "dma_map_page" => {
+                // Returns the correct guest machine page address (paper
+                // §5.3 and footnote 4).
+                let c = m.cost.dma_map;
+                m.meter.charge(c);
+                let addr = cpu.arg(m, 0)?;
+                cpu.set_reg(Reg::Eax, addr);
+            }
+            "dma_unmap_single" | "dma_unmap_page" => {
+                let c = m.cost.dma_map;
+                m.meter.charge(c);
+                cpu.set_reg(Reg::Eax, 0);
+            }
+            "spin_trylock" => {
+                // Operates on the shared lock word in dom0 memory
+                // (paper §4.4 — synchronization just works because the
+                // atomic variables are shared).
+                let c = m.cost.spinlock;
+                m.meter.charge(c);
+                svm.charge_fast_path(m);
+                let addr = cpu.arg(m, 0)? as u64;
+                let v = m.read_u32(dom0, ExecMode::Guest, addr)?;
+                if v == 0 {
+                    m.write_u32(dom0, ExecMode::Guest, addr, 1)?;
+                    cpu.set_reg(Reg::Eax, 1);
+                } else {
+                    cpu.set_reg(Reg::Eax, 0);
+                }
+            }
+            "spin_unlock_irqrestore" => {
+                let c = m.cost.spinlock;
+                m.meter.charge(c);
+                let addr = cpu.arg(m, 0)? as u64;
+                if addr != 0 {
+                    m.write_u32(dom0, ExecMode::Guest, addr, 0)?;
+                }
+                cpu.set_reg(Reg::Eax, 0);
+            }
+            "eth_type_trans" => {
+                let c = m.cost.eth_type_trans;
+                m.meter.charge(c);
+                svm.charge_fast_path(m);
+                let skb = SkBuff(cpu.arg(m, 0)? as u64);
+                let data = skb.data(m, dom0)?;
+                let hi = m.read_virt(dom0, ExecMode::Guest, data + 12, twin_isa::Width::Byte)?;
+                let lo = m.read_virt(dom0, ExecMode::Guest, data + 13, twin_isa::Width::Byte)?;
+                let proto = (hi << 8) | lo;
+                skb.set_protocol(m, dom0, proto)?;
+                cpu.set_reg(Reg::Eax, proto);
+            }
+            other => {
+                return Err(Fault::UnknownExtern(other.to_string()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twin_net::{Frame, MacAddr};
+
+    fn setup() -> (Machine, Dom0Kernel, Xen, Svm, HyperSupport) {
+        let mut m = Machine::new();
+        let dom0 = m.new_space();
+        let mut kernel = Dom0Kernel::new(&mut m, dom0, 32).unwrap();
+        kernel.reserve_hypervisor_pool(&mut m, 32).unwrap();
+        let xen = Xen::new(dom0);
+        let svm = Svm::new_hypervisor(&mut m, dom0, 0, (0, u64::MAX)).unwrap();
+        (m, kernel, xen, svm, HyperSupport::new())
+    }
+
+    /// Calls a support routine with stack-passed args, like driver code.
+    fn call(
+        hs: &mut HyperSupport,
+        name: &str,
+        m: &mut Machine,
+        kernel: &mut Dom0Kernel,
+        xen: &mut Xen,
+        svm: &mut Svm,
+        args: &[u32],
+    ) -> Result<u32, Fault> {
+        // Build a stack frame in dom0 memory for arg reads.
+        let stack = 0x3f00_0000;
+        m.map_fresh(kernel.space, stack, 2).unwrap();
+        let mut cpu = Cpu::new(kernel.space, ExecMode::Hypervisor);
+        cpu.set_stack(stack + 2 * 4096);
+        cpu.push_call_frame(m, args)?;
+        match hs.handle_extern(name, m, &mut cpu, kernel, xen, svm) {
+            Some(r) => r.map(|()| cpu.reg(twin_isa::Reg::Eax)),
+            None => Err(Fault::UnknownExtern(name.to_string())),
+        }
+    }
+
+    #[test]
+    fn alloc_comes_from_reserved_pool() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup();
+        let skb =
+            call(&mut hs, "netdev_alloc_skb", &mut m, &mut kernel, &mut xen, &mut svm, &[0, 2048])
+                .unwrap();
+        assert_ne!(skb, 0);
+        let flags = SkBuff(skb as u64).pool_flags(&m, kernel.space).unwrap();
+        assert_eq!(flags & 1, 1, "reserved-pool buffer");
+        assert_eq!(kernel.hyper_pool.as_ref().unwrap().available(), 31);
+        // Freeing routes back to the reserved pool, not dom0's.
+        call(&mut hs, "dev_kfree_skb_any", &mut m, &mut kernel, &mut xen, &mut svm, &[skb])
+            .unwrap();
+        assert_eq!(kernel.hyper_pool.as_ref().unwrap().available(), 32);
+        assert_eq!(kernel.pool.available(), 32);
+    }
+
+    #[test]
+    fn netif_rx_demuxes_by_mac() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup();
+        let gspace = m.new_space();
+        let gid = xen.add_guest(gspace, MacAddr::for_guest(5));
+        // Build an skb holding a frame for guest 5.
+        let skb = kernel.hyper_pool.as_mut().unwrap().alloc(&mut m, kernel.space).unwrap();
+        let f = Frame::data(MacAddr::for_guest(5), MacAddr::for_guest(9), 2, 7);
+        skb.fill_from_frame(&mut m, kernel.space, &f).unwrap();
+        call(&mut hs, "netif_rx", &mut m, &mut kernel, &mut xen, &mut svm, &[skb.0 as u32])
+            .unwrap();
+        assert_eq!(xen.domain(gid).rx_queue.len(), 1);
+        assert_eq!(xen.domain(gid).rx_queue[0].seq, 7);
+        // skb returned to the pool.
+        assert_eq!(kernel.hyper_pool.as_ref().unwrap().available(), 32);
+
+        // Unknown MAC: dropped and counted.
+        let skb = kernel.hyper_pool.as_mut().unwrap().alloc(&mut m, kernel.space).unwrap();
+        let f = Frame::data(MacAddr::for_guest(77), MacAddr::for_guest(9), 2, 8);
+        skb.fill_from_frame(&mut m, kernel.space, &f).unwrap();
+        call(&mut hs, "netif_rx", &mut m, &mut kernel, &mut xen, &mut svm, &[skb.0 as u32])
+            .unwrap();
+        assert_eq!(hs.demux_misses, 1);
+    }
+
+    #[test]
+    fn upcall_costs_include_switches_from_guest_context() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup();
+        let gspace = m.new_space();
+        let gid = xen.add_guest(gspace, MacAddr::for_guest(1));
+        xen.switch_to(&mut m, gid);
+        let before = m.meter.cycles(CostDomain::Xen);
+        let switches_before = xen.switches;
+        hs.set_upcall_count(9);
+        assert!(hs.upcall_routines.contains("spin_trylock"));
+        // spin_trylock now routes via upcall.
+        let lock = 0x3e00_0000;
+        m.map_fresh(kernel.space, lock, 1).unwrap();
+        let r = call(
+            &mut hs,
+            "spin_trylock",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[lock as u32],
+        )
+        .unwrap();
+        assert_eq!(r, 1, "lock acquired through the upcall");
+        assert_eq!(hs.upcalls, 1);
+        assert_eq!(xen.switches, switches_before + 2, "to dom0 and back");
+        assert_eq!(xen.current, gid, "restored to the guest");
+        let delta = m.meter.cycles(CostDomain::Xen) - before;
+        assert!(
+            delta >= 2 * m.cost.domain_switch + m.cost.upcall_overhead,
+            "upcall cost {delta}"
+        );
+    }
+
+    #[test]
+    fn upcall_from_dom0_context_skips_switches() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup();
+        hs.set_upcall_count(9);
+        let before = xen.switches;
+        let lock = 0x3e00_0000;
+        m.map_fresh(kernel.space, lock, 1).unwrap();
+        call(&mut hs, "spin_trylock", &mut m, &mut kernel, &mut xen, &mut svm, &[lock as u32])
+            .unwrap();
+        assert_eq!(xen.switches, before, "already in dom0: no switches");
+        assert_eq!(hs.upcalls, 1);
+    }
+
+    #[test]
+    fn netif_rx_never_upcalls() {
+        let (_m, _kernel, _xen, _svm, mut hs) = setup();
+        hs.set_upcall_count(9);
+        assert!(!hs.upcall_routines.contains("netif_rx"));
+        assert_eq!(hs.upcall_routines.len(), 9);
+    }
+
+    #[test]
+    fn long_tail_routines_route_via_upcall() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup();
+        // `kmalloc` is not a fast-path routine: hypervisor has no native
+        // implementation, so it must upcall.
+        let r = call(&mut hs, "kmalloc", &mut m, &mut kernel, &mut xen, &mut svm, &[128]).unwrap();
+        assert_ne!(r, 0, "allocation served by dom0 through the upcall");
+        assert_eq!(hs.upcalls, 1);
+    }
+
+    #[test]
+    fn truly_unknown_externs_are_rejected() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup();
+        let e = call(&mut hs, "no_such_fn", &mut m, &mut kernel, &mut xen, &mut svm, &[])
+            .unwrap_err();
+        assert!(matches!(e, Fault::UnknownExtern(_)));
+    }
+
+    #[test]
+    fn shared_lock_word_couples_both_instances() {
+        // dom0 takes the lock through the kernel impl; the hypervisor
+        // trylock must fail on the same word.
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup();
+        let lock = 0x3e00_0000;
+        m.map_fresh(kernel.space, lock, 1).unwrap();
+        m.write_u32(kernel.space, ExecMode::Guest, lock, 1).unwrap();
+        let r = call(
+            &mut hs,
+            "spin_trylock",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[lock as u32],
+        )
+        .unwrap();
+        assert_eq!(r, 0, "hypervisor sees dom0's lock");
+    }
+}

@@ -1,0 +1,24 @@
+//! The netperf microbenchmark across all four systems (paper §6.2,
+//! Figures 5 and 6).
+//!
+//! ```sh
+//! cargo run --release --example netperf
+//! ```
+
+use twin_workloads::{run_netperf, Direction};
+use twindrivers::Config;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (dir, paper) in [
+        (Direction::Transmit, "paper: 1619 / 3902 / 4683 / 4690 Mb/s"),
+        (Direction::Receive, "paper:  928 / 2022 / 2839 / 3010 Mb/s"),
+    ] {
+        println!("== {} ({paper}) ==", dir.label());
+        for config in Config::ALL {
+            let r = run_netperf(config, dir, 200)?;
+            println!("{}", r.row());
+        }
+        println!();
+    }
+    Ok(())
+}

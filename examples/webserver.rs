@@ -1,0 +1,52 @@
+//! The web server workload (paper §6.3, Figure 9): knot-like server,
+//! SPECweb99 static file set, httperf-like open-loop clients.
+//!
+//! ```sh
+//! cargo run --release --example webserver
+//! ```
+
+use twin_workloads::{run_webserver, FileSet};
+use twindrivers::Config;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut fs = FileSet::new(7);
+    println!(
+        "SPECweb99 file set: {} files, {:.1} MB total, mean transfer {:.1} KB",
+        fs.files().len(),
+        fs.total_bytes() as f64 / 1e6,
+        fs.empirical_mean(20_000) / 1000.0
+    );
+    println!();
+
+    let rates: Vec<f64> = (1..=16).map(|i| i as f64 * 1000.0).collect();
+    println!("{:>8}  {:>10} {:>10} {:>10} {:>10}", "reqs/s", "Linux", "dom0", "twin", "domU");
+    let mut series = Vec::new();
+    for config in [
+        Config::NativeLinux,
+        Config::XenDom0,
+        Config::TwinDrivers,
+        Config::XenGuest,
+    ] {
+        let (model, pts) = run_webserver(config, &rates, 150)?;
+        println!(
+            "# {:>10}: peak {:>4.0} Mb/s ({:.0} cycles/request)",
+            model.config.label(),
+            model.peak_mbps(),
+            model.cycles_per_request
+        );
+        series.push(pts);
+    }
+    for (i, rate) in rates.iter().enumerate() {
+        println!(
+            "{:>8.0}  {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            rate,
+            series[0][i].goodput_mbps,
+            series[1][i].goodput_mbps,
+            series[2][i].goodput_mbps,
+            series[3][i].goodput_mbps
+        );
+    }
+    println!();
+    println!("paper peaks: Linux 855, dom0 712, domU-twin 572, domU 269 Mb/s");
+    Ok(())
+}

@@ -1,0 +1,276 @@
+//! Property-based tests on the core invariants:
+//!
+//! * **Rewriter equivalence** — for random driver-like programs, the
+//!   SVM-rewritten binary executed in the hypervisor (through a real
+//!   stlb, from a foreign address space) computes exactly what the
+//!   original computes natively in dom0: same return value, same final
+//!   data-section bytes. This is the paper's core correctness claim.
+//! * **Assembler/encoder round-trips** on the same random programs.
+//! * **stlb indexing** properties.
+
+use proptest::prelude::*;
+use twin_isa::asm::assemble;
+use twin_isa::Module;
+use twin_kernel::load_driver;
+use twin_machine::{
+    run, Cpu, Env, ExecMode, Fault, Machine, NullEnv, SpaceId, StopReason, HYPER_BASE, PAGE_SIZE,
+};
+use twin_rewriter::{rewrite, RewriteOptions};
+use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
+
+const VM_CODE: u64 = 0x0800_0000;
+const HYP_CODE: u64 = 0x0c00_0000;
+const DATA: u64 = 0x2600_0000;
+const DOM0_STACK: u64 = 0x3000_0000;
+const HYP_STACK: u64 = HYPER_BASE + 0x00a0_0000;
+
+/// One random operation on the shared data buffer.
+#[derive(Clone, Debug)]
+enum Op {
+    LoadConst(u32),
+    Store(u16),
+    Load(u16),
+    AddMem(u16),
+    AddConst(u32),
+    XorToMem(u16),
+    IncMem(u16),
+    StoreByte(u16),
+    LoadByte(u16),
+    PushPop(u16, u16),
+    Copy { src: u16, dst: u16, words: u8 },
+    Fill { dst: u16, words: u8, val: u8 },
+}
+
+impl Op {
+    fn emit(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Op::LoadConst(v) => writeln!(out, "    movl ${v}, %eax").unwrap(),
+            Op::Store(o) => writeln!(out, "    movl %eax, buf+{o}").unwrap(),
+            Op::Load(o) => writeln!(out, "    movl buf+{o}, %eax").unwrap(),
+            Op::AddMem(o) => writeln!(out, "    addl buf+{o}, %eax").unwrap(),
+            Op::AddConst(v) => writeln!(out, "    addl ${v}, %eax").unwrap(),
+            Op::XorToMem(o) => writeln!(out, "    xorl %eax, buf+{o}").unwrap(),
+            Op::IncMem(o) => writeln!(out, "    incl buf+{o}").unwrap(),
+            Op::StoreByte(o) => writeln!(out, "    movb %eax, buf+{o}").unwrap(),
+            Op::LoadByte(o) => writeln!(out, "    movzbl buf+{o}, %eax").unwrap(),
+            Op::PushPop(a, b) => {
+                writeln!(out, "    pushl buf+{a}").unwrap();
+                writeln!(out, "    popl buf+{b}").unwrap();
+            }
+            Op::Copy { src, dst, words } => {
+                writeln!(out, "    movl $buf+{src}, %esi").unwrap();
+                writeln!(out, "    movl $buf+{dst}, %edi").unwrap();
+                writeln!(out, "    movl ${words}, %ecx").unwrap();
+                writeln!(out, "    rep movsl").unwrap();
+            }
+            Op::Fill { dst, words, val } => {
+                writeln!(out, "    movl ${val}, %eax").unwrap();
+                writeln!(out, "    movl $buf+{dst}, %edi").unwrap();
+                writeln!(out, "    movl ${words}, %ecx").unwrap();
+                writeln!(out, "    rep stosl").unwrap();
+            }
+        }
+    }
+}
+
+const BUF: u16 = 8192; // spans 3 pages when offset by the data base
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let off = (0u16..BUF / 4 - 1).prop_map(|i| i * 4);
+    prop_oneof![
+        (0u32..1000).prop_map(Op::LoadConst),
+        off.clone().prop_map(Op::Store),
+        off.clone().prop_map(Op::Load),
+        off.clone().prop_map(Op::AddMem),
+        (0u32..1000).prop_map(Op::AddConst),
+        off.clone().prop_map(Op::XorToMem),
+        off.clone().prop_map(Op::IncMem),
+        (0u16..BUF - 1).prop_map(Op::StoreByte),
+        (0u16..BUF - 1).prop_map(Op::LoadByte),
+        (off.clone(), off.clone()).prop_map(|(a, b)| Op::PushPop(a, b)),
+        ((0u16..128), (0u16..128), (1u8..40)).prop_map(|(s, d, w)| Op::Copy {
+            src: s * 4,
+            dst: BUF / 2 + d * 4,
+            words: w,
+        }),
+        ((0u16..128), (1u8..40), any::<u8>()).prop_map(|(d, w, v)| Op::Fill {
+            dst: BUF / 2 + d * 4,
+            words: w,
+            val: v,
+        }),
+    ]
+}
+
+fn program(ops: &[Op]) -> String {
+    let mut src = String::from(
+        "    .text\n    .globl f\nf:\n    pushl %ebp\n    movl %esp, %ebp\n    pushl %ebx\n    pushl %esi\n    pushl %edi\n    movl $0, %eax\n",
+    );
+    for op in ops {
+        op.emit(&mut src);
+    }
+    // Checksum the buffer into eax so memory state is observable even
+    // without comparing bytes.
+    src.push_str(
+        "    movl $0, %ecx\n    movl $0, %edx\nck_loop:\n    addl buf(%edx), %ecx\n    addl $4, %edx\n    cmpl $8192, %edx\n    jne ck_loop\n    movl %ecx, %eax\n",
+    );
+    src.push_str("    popl %edi\n    popl %esi\n    popl %ebx\n    popl %ebp\n    ret\n");
+    src.push_str("    .data\n    .globl buf\nbuf:\n");
+    // Deterministic non-zero initial contents.
+    for i in 0..BUF / 4 {
+        src.push_str(&format!("    .long {}\n", (i as u32).wrapping_mul(2654435761)));
+    }
+    src
+}
+
+struct SvmEnv {
+    svm: Svm,
+}
+
+impl Env for SvmEnv {
+    fn extern_call(&mut self, name: &str, m: &mut Machine, cpu: &mut Cpu) -> Result<(), Fault> {
+        match name {
+            SLOW_PATH_SYMBOL => {
+                let a = cpu.arg(m, 0)? as u64;
+                self.svm.slow_path(m, a)?;
+                Ok(())
+            }
+            CALL_XLAT_SYMBOL => {
+                let t = cpu.arg(m, 0)? as u64;
+                let x = self.svm.translate_call(m, t)?;
+                cpu.set_reg(twin_isa::Reg::Eax, x as u32);
+                Ok(())
+            }
+            other => Err(Fault::UnknownExtern(other.to_string())),
+        }
+    }
+    fn mmio_read(&mut self, _: &mut Machine, _: u32, a: u64, _: twin_isa::Width) -> Result<u32, Fault> {
+        Err(Fault::MmioAccess { addr: a })
+    }
+    fn mmio_write(&mut self, _: &mut Machine, _: u32, a: u64, _: twin_isa::Width, _: u32) -> Result<(), Fault> {
+        Err(Fault::MmioAccess { addr: a })
+    }
+}
+
+fn run_native(module: &Module) -> (u32, Vec<u8>) {
+    let mut m = Machine::new();
+    let dom0 = m.new_space();
+    m.map_stack(dom0, DOM0_STACK, 8).unwrap();
+    let d = load_driver(&mut m, dom0, module, VM_CODE, DATA, |_| None).unwrap();
+    let mut cpu = Cpu::new(dom0, ExecMode::Guest);
+    cpu.set_stack(DOM0_STACK + 8 * PAGE_SIZE);
+    cpu.push_call_frame(&mut m, &[]).unwrap();
+    cpu.pc = d.entry("f").unwrap();
+    let stop = run(&mut m, &mut cpu, &mut NullEnv, 50_000_000).unwrap();
+    assert_eq!(stop, StopReason::Returned);
+    (cpu.reg(twin_isa::Reg::Eax), dump(&m, dom0))
+}
+
+fn run_twin(module: &Module, opts: &RewriteOptions) -> (u32, Vec<u8>) {
+    let out = rewrite(module, opts).unwrap();
+    let mut m = Machine::new();
+    let dom0 = m.new_space();
+    let domu = m.new_space();
+    m.map_hyper_fresh(HYP_STACK, 8).unwrap();
+    let mut svm = Svm::new_hypervisor(&mut m, dom0, 0, (0, u64::MAX)).unwrap();
+    let stlb = svm.placement().base;
+    // Load data once in dom0 (relocs point at the VM image), then link
+    // the hypervisor image at constant offset.
+    let vm = load_driver(&mut m, dom0, &out.module, VM_CODE, DATA, |n| {
+        (n == twin_svm::STLB_SYMBOL).then_some(stlb)
+    })
+    .unwrap();
+    svm.set_code_mapping((HYP_CODE - VM_CODE) as i64, (HYP_CODE, HYP_CODE + (out.module.text.len() as u64) * 4));
+    let img = m
+        .load_image(&out.module, HYP_CODE, |n| {
+            if n == twin_svm::STLB_SYMBOL {
+                Some(stlb)
+            } else {
+                vm.data_symbol(n)
+            }
+        })
+        .unwrap();
+    let entry = m.image(img).export("f").unwrap();
+    let mut cpu = Cpu::new(domu, ExecMode::Hypervisor);
+    cpu.set_stack(HYP_STACK + 8 * PAGE_SIZE);
+    cpu.push_call_frame(&mut m, &[]).unwrap();
+    cpu.pc = entry;
+    let mut env = SvmEnv { svm };
+    let stop = run(&mut m, &mut cpu, &mut env, 100_000_000).unwrap();
+    assert_eq!(stop, StopReason::Returned);
+    (cpu.reg(twin_isa::Reg::Eax), dump(&m, dom0))
+}
+
+fn dump(m: &Machine, space: SpaceId) -> Vec<u8> {
+    (0..BUF as u64)
+        .map(|i| {
+            m.read_virt(space, ExecMode::Guest, DATA + i, twin_isa::Width::Byte)
+                .unwrap() as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// The paper's core claim, as a property: rewriting preserves
+    /// semantics under SVM from a foreign address space.
+    #[test]
+    fn rewritten_program_equivalent_to_original(ops in prop::collection::vec(op_strategy(), 1..24)) {
+        let src = program(&ops);
+        let module = assemble("p", &src).unwrap();
+        let (r0, d0) = run_native(&module);
+        let (r1, d1) = run_twin(&module, &RewriteOptions::default());
+        prop_assert_eq!(r0, r1, "return values differ");
+        prop_assert_eq!(d0, d1, "data section diverged");
+    }
+
+    /// Same property with liveness disabled (all sites spill).
+    #[test]
+    fn rewritten_program_equivalent_without_liveness(ops in prop::collection::vec(op_strategy(), 1..12)) {
+        let src = program(&ops);
+        let module = assemble("p", &src).unwrap();
+        let (r0, d0) = run_native(&module);
+        let opts = RewriteOptions { liveness: false, ..RewriteOptions::default() };
+        let (r1, d1) = run_twin(&module, &opts);
+        prop_assert_eq!(r0, r1);
+        prop_assert_eq!(d0, d1);
+    }
+
+    /// Assembler round-trip: render(assemble(p)) reassembles identically.
+    #[test]
+    fn assembler_roundtrip(ops in prop::collection::vec(op_strategy(), 1..24)) {
+        let src = program(&ops);
+        let m1 = assemble("p", &src).unwrap();
+        let m2 = assemble("p", &m1.render()).unwrap();
+        prop_assert_eq!(&m1.text, &m2.text);
+        prop_assert_eq!(&m1.labels, &m2.labels);
+        prop_assert_eq!(&m1.data.bytes, &m2.data.bytes);
+    }
+
+    /// Object-format round-trip on random programs (original and
+    /// rewritten).
+    #[test]
+    fn encode_roundtrip(ops in prop::collection::vec(op_strategy(), 1..16)) {
+        let src = program(&ops);
+        let m1 = assemble("p", &src).unwrap();
+        let bytes = twin_isa::encode::encode(&m1);
+        prop_assert_eq!(&m1, &twin_isa::encode::decode(&bytes).unwrap());
+        let rw = rewrite(&m1, &RewriteOptions::default()).unwrap().module;
+        let bytes = twin_isa::encode::encode(&rw);
+        prop_assert_eq!(&rw, &twin_isa::encode::decode(&bytes).unwrap());
+    }
+
+    /// stlb index covers exactly bits 12..24 and offsets are preserved
+    /// by translation.
+    #[test]
+    fn stlb_index_properties(addr in 0u64..0xE000_0000) {
+        let idx = Svm::index_of(addr);
+        prop_assert!(idx < twin_svm::STLB_ENTRIES);
+        prop_assert_eq!(idx, Svm::index_of(addr & !0xfff));
+        prop_assert_eq!(idx, (addr >> 12) % twin_svm::STLB_ENTRIES);
+    }
+}

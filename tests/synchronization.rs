@@ -1,0 +1,113 @@
+//! Synchronization between the two driver instances (paper §4.4): both
+//! operate on the *same* atomic lock words in dom0 memory, so the
+//! original driver's SMP locking keeps working unchanged.
+
+use twin_machine::ExecMode;
+use twindrivers::kernel::e1000;
+use twindrivers::{Config, System};
+
+const TX_LOCK_OFF: u64 = e1000::adapter::TX_LOCK;
+
+#[test]
+fn hypervisor_instance_respects_dom0_held_lock() {
+    let mut sys = System::build(Config::TwinDrivers).unwrap();
+    let adapter = sys.driver.data_symbol("adapter").unwrap();
+    let dom0 = sys.world.kernel.space;
+
+    // dom0 (conceptually the VM instance mid-critical-section) holds the
+    // TX lock: write the shared lock word through dom0's mapping.
+    sys.machine
+        .write_u32(dom0, ExecMode::Guest, adapter + TX_LOCK_OFF, 1)
+        .unwrap();
+
+    // The hypervisor instance's spin_trylock sees the word via SVM and
+    // backs off: the transmit reports busy, nothing reaches the wire.
+    sys.transmit_one().unwrap();
+    assert_eq!(sys.take_wire_frames().len(), 0, "lock held: xmit busy");
+
+    // Release the lock; transmission proceeds.
+    sys.machine
+        .write_u32(dom0, ExecMode::Guest, adapter + TX_LOCK_OFF, 0)
+        .unwrap();
+    sys.transmit_one().unwrap();
+    assert_eq!(sys.take_wire_frames().len(), 1);
+}
+
+#[test]
+fn lock_released_after_every_transmit() {
+    let mut sys = System::build(Config::TwinDrivers).unwrap();
+    let adapter = sys.driver.data_symbol("adapter").unwrap();
+    let dom0 = sys.world.kernel.space;
+    for _ in 0..5 {
+        sys.transmit_one().unwrap();
+        let word = sys
+            .machine
+            .read_u32(dom0, ExecMode::Guest, adapter + TX_LOCK_OFF)
+            .unwrap();
+        assert_eq!(word, 0, "driver unlocks on every exit path");
+    }
+}
+
+#[test]
+fn interrupt_handler_backs_off_when_lock_held() {
+    // e1000_intr takes the TX lock only with trylock before reaping; if
+    // dom0 holds it, the handler must still complete the RX work.
+    let mut sys = System::build(Config::TwinDrivers).unwrap();
+    let adapter = sys.driver.data_symbol("adapter").unwrap();
+    let dom0 = sys.world.kernel.space;
+    sys.machine
+        .write_u32(dom0, ExecMode::Guest, adapter + TX_LOCK_OFF, 1)
+        .unwrap();
+    sys.receive_one().unwrap();
+    assert_eq!(sys.delivered_rx(), 1, "receive path does not need the TX lock");
+    sys.machine
+        .write_u32(dom0, ExecMode::Guest, adapter + TX_LOCK_OFF, 0)
+        .unwrap();
+}
+
+#[test]
+fn virtual_interrupt_flag_defers_softirq_work() {
+    // Paper §4.4: the hypervisor respects dom0's virtual interrupt flag
+    // by running the driver interrupt in schedulable softirq context.
+    let mut sys = System::build(Config::TwinDrivers).unwrap();
+    // Mask dom0's virtual interrupts.
+    sys.world
+        .xen
+        .as_mut()
+        .unwrap()
+        .domain_mut(twin_xen::DomId::DOM0)
+        .virq_enabled = false;
+    // The interrupt work is queued but not run.
+    let frame = twin_net::Frame::data(
+        twin_net::MacAddr::for_guest(1),
+        twindrivers::peer_mac(),
+        1,
+        0,
+    );
+    assert!(sys.world.nics[0].deliver(&mut sys.machine.phys, &frame));
+    sys.world
+        .xen
+        .as_mut()
+        .unwrap()
+        .raise_softirq(twin_xen::Softirq::DriverIrq { nic: 0 });
+    assert!(
+        sys.world
+            .xen
+            .as_mut()
+            .unwrap()
+            .take_runnable_softirqs()
+            .is_empty(),
+        "softirq deferred while dom0 masks virtual interrupts"
+    );
+    // Unmask: work becomes runnable.
+    sys.world
+        .xen
+        .as_mut()
+        .unwrap()
+        .domain_mut(twin_xen::DomId::DOM0)
+        .virq_enabled = true;
+    assert_eq!(
+        sys.world.xen.as_mut().unwrap().take_runnable_softirqs().len(),
+        1
+    );
+}
