@@ -11,7 +11,10 @@ fn main() {
         "Figure 10 — Transmit throughput vs upcalls per driver invocation",
         "3902 Mb/s at 0 upcalls, 1638 at 1, 359 at 9",
     );
-    println!("{:>8} {:>12} {:>16} {:>14}", "upcalls", "Mb/s", "cycles/packet", "upcalls/pkt");
+    println!(
+        "{:>8} {:>12} {:>16} {:>14}",
+        "upcalls", "Mb/s", "cycles/packet", "upcalls/pkt"
+    );
     for n in 0..=9usize {
         let opts = SystemOptions {
             upcall_count: n,
@@ -21,7 +24,13 @@ fn main() {
         let b = sys.measure_tx(packets()).expect("measure");
         let t = throughput(b.total(), TESTBED_NICS);
         let upcalls = b.events.get("upcall").copied().unwrap_or(0) as f64 / b.packets as f64;
-        println!("{:>8} {:>12.0} {:>16.0} {:>14.2}", n, t.mbps, b.total(), upcalls);
+        println!(
+            "{:>8} {:>12.0} {:>16.0} {:>14.2}",
+            n,
+            t.mbps,
+            b.total(),
+            upcalls
+        );
     }
     println!();
     for (n, mbps) in PAPER_FIG10_ENDPOINTS {

@@ -40,7 +40,11 @@ fn main() {
     println!();
     println!("  measured peaks (Mb/s):");
     for (model, _) in &series {
-        println!("    {:>10}: {:>6.0}", model.config.label(), model.peak_mbps());
+        println!(
+            "    {:>10}: {:>6.0}",
+            model.config.label(),
+            model.peak_mbps()
+        );
     }
     println!("  paper peaks:");
     for (label, peak) in PAPER_FIG9_PEAKS {

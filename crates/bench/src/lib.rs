@@ -56,7 +56,10 @@ pub const PAPER_TABLE1: [(&str, &str); 10] = [
     ("dma_unmap_single", "unmap DMA buffer"),
     ("dma_unmap_page", "unmap DMA page"),
     ("spin_trylock", "acquire spinlock"),
-    ("spin_unlock_irqrestore", "release spinlock, restore interrupts"),
+    (
+        "spin_unlock_irqrestore",
+        "release spinlock, restore interrupts",
+    ),
     ("eth_type_trans", "process MAC header"),
 ];
 

@@ -60,6 +60,34 @@ impl Breakdown {
     }
 }
 
+/// One point of a batch-size sweep: amortized per-packet cost and
+/// notification rates at a fixed burst size.
+#[derive(Clone, Debug)]
+pub struct BurstMeasurement {
+    /// Burst size measured.
+    pub burst: usize,
+    /// Per-packet cycle breakdown, amortized over the burst.
+    pub breakdown: Breakdown,
+    /// Hardware interrupts dispatched per packet (receive side; 1.0 at
+    /// burst 1, ~1/N with N-frame coalescing).
+    pub irqs_per_packet: f64,
+    /// `TDT` doorbell writes per packet (transmit side).
+    pub doorbells_per_packet: f64,
+}
+
+impl BurstMeasurement {
+    /// One sweep-table row.
+    pub fn row(&self) -> String {
+        format!(
+            "burst {:>4}  cycles/pkt {:>8.0}   irqs/pkt {:>6.3}   doorbells/pkt {:>6.3}",
+            self.burst,
+            self.breakdown.total(),
+            self.irqs_per_packet,
+            self.doorbells_per_packet,
+        )
+    }
+}
+
 /// Result of converting a per-packet cost into netperf-style throughput.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Throughput {

@@ -24,9 +24,7 @@ use twin_isa::asm::assemble;
 use twin_kernel::{
     call_function, e1000, load_driver, Dom0Kernel, LoadedDriver, RxMode, SkBuff, MMIO_BASE,
 };
-use twin_machine::{
-    CostDomain, Cpu, Env, ExecMode, Fault, Machine, PageEntry, SpaceId, PAGE_SIZE,
-};
+use twin_machine::{CostDomain, Cpu, Env, ExecMode, Fault, Machine, PageEntry, SpaceId, PAGE_SIZE};
 use twin_net::{EtherType, Frame, MacAddr, MTU};
 use twin_nic::{Nic, MMIO_WINDOW};
 use twin_rewriter::{rewrite, RewriteOptions, RewriteStats};
@@ -39,6 +37,10 @@ use twin_xen::{
 
 /// Code base of the VM driver instance in dom0.
 pub const VM_CODE_BASE: u64 = 0x0800_0000;
+
+/// Largest burst one `transmit_burst`/`receive_burst` call moves (the TX
+/// ring holds 128 descriptors, so bigger bursts would only split).
+pub const MAX_BURST: usize = 128;
 
 /// Data base of the driver in dom0. Staggered against the heap base so
 /// the hot adapter page does not share an stlb index with hot heap pages
@@ -187,9 +189,11 @@ pub struct World {
 impl Env for World {
     fn extern_call(&mut self, name: &str, m: &mut Machine, cpu: &mut Cpu) -> Result<(), Fault> {
         if cpu.mode == ExecMode::Hypervisor {
-            if let (Some(hyper), Some(xen), Some(svm)) =
-                (self.hyper.as_mut(), self.xen.as_mut(), self.svm_hyp.as_mut())
-            {
+            if let (Some(hyper), Some(xen), Some(svm)) = (
+                self.hyper.as_mut(),
+                self.xen.as_mut(),
+                self.svm_hyp.as_mut(),
+            ) {
                 if let Some(r) = hyper.handle_extern(name, m, cpu, &mut self.kernel, xen, svm) {
                     return r;
                 }
@@ -245,6 +249,9 @@ impl Env for World {
         val: u32,
     ) -> Result<(), Fault> {
         if offset == twin_nic::regs::TDT {
+            // The posted doorbell write: one per driver kick, however
+            // many descriptors the tail move covers (the burst metric).
+            m.meter.count_event("doorbell");
             if let Some(iommu) = &mut self.iommu {
                 iommu.check_tx_ring(m, &mut self.nics[dev as usize], val)?;
             }
@@ -278,6 +285,10 @@ pub struct System {
     guest_tx_frag: u64,
     header_copy: u32,
     seq: u64,
+    /// Dom0 VA of the `skb*[MAX_BURST]` array handed to
+    /// `e1000_xmit_batch` (both driver instances read it — it lives in
+    /// dom0 memory like all driver data).
+    tx_batch_buf: u64,
 }
 
 impl System {
@@ -297,12 +308,8 @@ impl System {
     ///
     /// See [`System::build`].
     pub fn build_with(config: Config, opts: &SystemOptions) -> Result<System, SystemError> {
-        let source = opts
-            .driver_source
-            .clone()
-            .unwrap_or_else(e1000::source);
-        let module =
-            assemble("e1000", &source).map_err(|e| SystemError::Build(e.to_string()))?;
+        let source = opts.driver_source.clone().unwrap_or_else(e1000::source);
+        let module = assemble("e1000", &source).map_err(|e| SystemError::Build(e.to_string()))?;
 
         let mut machine = Machine::new();
         let dom0 = machine.new_space();
@@ -311,7 +318,11 @@ impl System {
                 .space_mut(dom0)
                 .map(MMIO_BASE + p * PAGE_SIZE, PageEntry::mmio(0, p));
         }
-        machine.map_stack(dom0, twin_kernel::DOM0_STACK_BASE, twin_kernel::DOM0_STACK_PAGES)?;
+        machine.map_stack(
+            dom0,
+            twin_kernel::DOM0_STACK_BASE,
+            twin_kernel::DOM0_STACK_PAGES,
+        )?;
         let dom0_stack_top =
             twin_kernel::DOM0_STACK_BASE + twin_kernel::DOM0_STACK_PAGES * PAGE_SIZE;
         let kernel = Dom0Kernel::new(&mut machine, dom0, opts.pool_size)?;
@@ -336,8 +347,8 @@ impl System {
         // TwinDrivers (the same rewritten binary serves both instances,
         // paper §5.1.2).
         let (drv_module, rewrite_stats) = if config == Config::TwinDrivers {
-            let out = rewrite(&module, &opts.rewrite)
-                .map_err(|e| SystemError::Build(e.to_string()))?;
+            let out =
+                rewrite(&module, &opts.rewrite).map_err(|e| SystemError::Build(e.to_string()))?;
             (out.module, Some(out.stats))
         } else {
             (module, None)
@@ -378,6 +389,7 @@ impl System {
             guest_tx_frag: 0,
             header_copy: opts.header_copy_bytes.clamp(26, 1024),
             seq: 0,
+            tx_batch_buf: 0,
         };
 
         // Initialise the VM instance in dom0 (paper §3.1: "we first load
@@ -388,6 +400,13 @@ impl System {
         let open = sys.driver.entry("e1000_open").unwrap();
         let netdev32 = sys.netdev as u32;
         sys.call_dom0(open, &[netdev32], 200_000_000)?;
+        // Pointer array for burst transmits, in dom0 memory so both
+        // driver instances can walk it.
+        sys.tx_batch_buf = sys
+            .world
+            .kernel
+            .heap
+            .kmalloc(&mut sys.machine, (MAX_BURST * 4) as u64)?;
 
         // Guest domain for the guest configurations.
         if matches!(config, Config::XenGuest | Config::TwinDrivers) {
@@ -413,7 +432,9 @@ impl System {
 
         // TwinDrivers: derive and load the hypervisor instance.
         if config == Config::TwinDrivers {
-            sys.world.kernel.reserve_hypervisor_pool(&mut sys.machine, 512)?;
+            sys.world
+                .kernel
+                .reserve_hypervisor_pool(&mut sys.machine, 512)?;
             let mut svm = Svm::new_hypervisor(&mut sys.machine, dom0, 0, (0, u64::MAX))?;
             let hyp = load_hypervisor_driver(
                 &mut sys.machine,
@@ -422,10 +443,7 @@ impl System {
                 svm.placement().base,
             )
             .map_err(|e| SystemError::Build(e.to_string()))?;
-            svm.set_code_mapping(
-                (HYP_CODE_BASE - VM_CODE_BASE) as i64,
-                hyp.code_range(),
-            );
+            svm.set_code_mapping((HYP_CODE_BASE - VM_CODE_BASE) as i64, hyp.code_range());
             sys.world.svm_hyp = Some(svm);
             let mut hs = HyperSupport::new();
             hs.set_upcall_count(opts.upcall_count);
@@ -547,158 +565,298 @@ impl System {
     }
 
     /// Transmits one MTU-sized packet along the configuration's full
-    /// path.
+    /// path — a burst of one through [`System::transmit_burst`].
     ///
     /// # Errors
     ///
     /// Propagates faults; [`SystemError::DriverAborted`] if the
     /// hypervisor driver is dead.
     pub fn transmit_one(&mut self) -> Result<(), SystemError> {
-        let frame = self.next_tx_frame();
-        match self.config {
-            Config::NativeLinux => self.tx_dom0_style(&frame, false),
-            Config::XenDom0 => self.tx_dom0_style(&frame, true),
-            Config::XenGuest => self.tx_baseline_guest(&frame),
-            Config::TwinDrivers => self.tx_twin(&frame),
-        }
+        self.transmit_burst(1).map(|_| ())
     }
 
-    /// Native Linux / dom0 transmit: stack → driver.
-    fn tx_dom0_style(&mut self, frame: &Frame, on_xen: bool) -> Result<(), SystemError> {
-        let m = &mut self.machine;
-        // Socket + TCP/IP transmit processing.
-        m.meter.charge_to(CostDomain::Dom0, m.cost.tcp_tx_per_packet);
-        m.meter.charge_to(CostDomain::Dom0, m.cost.skb_alloc);
-        if on_xen {
-            // Paravirtualisation tax (pte maintenance, event checks).
-            m.meter
-                .charge_to(CostDomain::Xen, m.cost.paravirt_tax_per_packet);
+    /// Transmits a burst of `n` MTU-sized packets along the
+    /// configuration's full path: one notification/hypercall, one driver
+    /// invocation, one `TDT` doorbell per pipeline pass of up to
+    /// [`MAX_BURST`] packets (larger bursts split into several passes).
+    /// Stack costs amortise across the burst (TSO/GSO-style);
+    /// per-packet work (copies, grants, descriptors) does not.
+    ///
+    /// Returns how many packets reached the driver's ring (less than `n`
+    /// only under ring pressure; the rest are dropped and their buffers
+    /// freed, like a queue-discipline drop).
+    ///
+    /// # Errors
+    ///
+    /// See [`System::transmit_one`].
+    pub fn transmit_burst(&mut self, n: usize) -> Result<usize, SystemError> {
+        let mut total = 0;
+        while total < n {
+            let chunk = (n - total).min(MAX_BURST);
+            let frames: Vec<Frame> = (0..chunk).map(|_| self.next_tx_frame()).collect();
+            let sent = match self.config {
+                Config::NativeLinux => self.tx_dom0_style(&frames, false),
+                Config::XenDom0 => self.tx_dom0_style(&frames, true),
+                Config::XenGuest => self.tx_baseline_guest(&frames),
+                Config::TwinDrivers => self.tx_twin(&frames),
+            }?;
+            total += sent;
+            if sent < chunk {
+                break; // ring pressure: the shortfall was dropped
+            }
         }
-        let skb = self
-            .world
-            .kernel
-            .pool
-            .alloc(&mut self.machine, self.dom0)
-            .ok_or(SystemError::Build("dom0 skb pool empty".into()))?;
-        skb.fill_from_frame(&mut self.machine, self.dom0, frame)?;
-        let xmit = self.driver.entry("e1000_xmit_frame").unwrap();
-        self.machine.meter.push_domain(CostDomain::Driver);
-        let r = self.call_dom0(xmit, &[skb.0 as u32, self.netdev as u32], 2_000_000);
-        self.machine.meter.pop_domain();
-        let busy = r?;
-        if busy != 0 {
-            self.world.kernel.free_skb(&self.machine, skb)?;
+        Ok(total)
+    }
+
+    /// Frees a set of sk_buffs back to their pools (error-path cleanup
+    /// and queue-discipline drops).
+    fn free_skbs(&mut self, skbs: &[SkBuff]) -> Result<(), SystemError> {
+        for skb in skbs {
+            self.world.kernel.free_skb(&self.machine, *skb)?;
         }
         Ok(())
     }
 
+    /// Stack cost of the `i`-th packet of a transmit burst: the first
+    /// pays the full per-wakeup price, the rest the batched marginal.
+    fn tx_stack_cost(&self, i: usize) -> u64 {
+        if i == 0 {
+            self.machine.cost.tcp_tx_per_packet
+        } else {
+            self.machine.cost.tcp_tx_batch_marginal
+        }
+    }
+
+    /// Hands a prepared burst of sk_buffs to a driver instance. Each
+    /// driver invocation is one lock acquisition and one doorbell; when
+    /// the ring cannot hold the whole burst (fragmented packets take two
+    /// descriptors each) the kick drains it synchronously and the
+    /// remainder goes in a follow-up invocation, so large bursts cost a
+    /// few doorbells instead of failing. Returns how many packets the
+    /// ring accepted; unaccepted skbs are freed here.
+    fn drive_tx(&mut self, skbs: &[SkBuff], hypervisor: bool) -> Result<usize, SystemError> {
+        let mut done = 0;
+        while done < skbs.len() {
+            let accepted = match self.drive_tx_once(&skbs[done..], hypervisor) {
+                Ok(a) => a,
+                Err(e) => {
+                    // Return the in-flight remainder to the pools before
+                    // surfacing the fault, or the pool drains for good.
+                    self.free_skbs(&skbs[done..])?;
+                    return Err(e);
+                }
+            };
+            if accepted == 0 {
+                break;
+            }
+            done += accepted;
+        }
+        self.free_skbs(&skbs[done..])?;
+        Ok(done)
+    }
+
+    /// One driver invocation: `e1000_xmit_frame` for a burst of one (the
+    /// exact per-packet path), `e1000_xmit_batch` otherwise.
+    fn drive_tx_once(&mut self, skbs: &[SkBuff], hypervisor: bool) -> Result<usize, SystemError> {
+        let sent = if let [skb] = skbs {
+            let args = [skb.0 as u32, self.netdev as u32];
+            self.machine.meter.push_domain(CostDomain::Driver);
+            let r = if hypervisor {
+                let xmit = self
+                    .hyperdrv
+                    .as_ref()
+                    .unwrap()
+                    .entry("e1000_xmit_frame")
+                    .unwrap();
+                self.call_hyperdrv(xmit, &args, 2_000_000)
+            } else {
+                let xmit = self.driver.entry("e1000_xmit_frame").unwrap();
+                self.call_dom0(xmit, &args, 2_000_000)
+            };
+            self.machine.meter.pop_domain();
+            usize::from(r? == 0)
+        } else {
+            for (i, skb) in skbs.iter().enumerate() {
+                self.machine.write_u32(
+                    self.dom0,
+                    ExecMode::Guest,
+                    self.tx_batch_buf + i as u64 * 4,
+                    skb.0 as u32,
+                )?;
+            }
+            let args = [
+                self.tx_batch_buf as u32,
+                skbs.len() as u32,
+                self.netdev as u32,
+            ];
+            let budget = 2_000_000 * skbs.len() as u64;
+            self.machine.meter.push_domain(CostDomain::Driver);
+            let r = if hypervisor {
+                let xmit = self.hyperdrv.as_ref().unwrap().xmit_batch_entry().unwrap();
+                self.call_hyperdrv(xmit, &args, budget)
+            } else {
+                let xmit = self.driver.entry("e1000_xmit_batch").unwrap();
+                self.call_dom0(xmit, &args, budget)
+            };
+            self.machine.meter.pop_domain();
+            r? as usize
+        };
+        Ok(sent)
+    }
+
+    /// Native Linux / dom0 transmit: stack → driver, burst-wise.
+    fn tx_dom0_style(&mut self, frames: &[Frame], on_xen: bool) -> Result<usize, SystemError> {
+        let mut skbs = Vec::with_capacity(frames.len());
+        for (i, frame) in frames.iter().enumerate() {
+            {
+                // Socket + TCP/IP transmit processing.
+                let c = self.tx_stack_cost(i);
+                let m = &mut self.machine;
+                m.meter.charge_to(CostDomain::Dom0, c);
+                m.meter.charge_to(CostDomain::Dom0, m.cost.skb_alloc);
+                if on_xen {
+                    // Paravirtualisation tax (pte maintenance, event checks).
+                    m.meter
+                        .charge_to(CostDomain::Xen, m.cost.paravirt_tax_per_packet);
+                }
+            }
+            let skb = match self.world.kernel.pool.alloc(&mut self.machine, self.dom0) {
+                Some(skb) => skb,
+                None => {
+                    self.free_skbs(&skbs)?;
+                    return Err(SystemError::Build("dom0 skb pool empty".into()));
+                }
+            };
+            skbs.push(skb);
+            if let Err(e) = skb.fill_from_frame(&mut self.machine, self.dom0, frame) {
+                self.free_skbs(&skbs)?;
+                return Err(e.into());
+            }
+        }
+        self.drive_tx(&skbs, false)
+    }
+
     /// Baseline Xen guest transmit (paper §2): netfront → I/O channel →
-    /// netback → bridge → dom0 driver.
-    fn tx_baseline_guest(&mut self, frame: &Frame) -> Result<(), SystemError> {
+    /// netback → bridge → dom0 driver. netfront produces the whole burst
+    /// of requests and notifies **once**; grants, copies and backend
+    /// bookkeeping stay per-packet.
+    fn tx_baseline_guest(&mut self, frames: &[Frame]) -> Result<usize, SystemError> {
         let gid = self.guest.expect("guest");
-        {
-            let m = &mut self.machine;
+        for i in 0..frames.len() {
             // Guest stack + netfront request production.
-            m.meter.charge_to(CostDomain::DomU, m.cost.tcp_tx_per_packet);
+            let c = self.tx_stack_cost(i);
+            let m = &mut self.machine;
+            m.meter.charge_to(CostDomain::DomU, c);
             m.meter
                 .charge_to(CostDomain::DomU, m.cost.netfront_per_packet);
         }
         let xen = self.world.xen.as_mut().expect("xen");
-        // Notify + switch into the driver domain.
+        // One notify + one switch into the driver domain per burst.
         xen.hypercall(&mut self.machine);
         xen.send_virq(&mut self.machine, DomId::DOM0, 1);
         xen.switch_to(&mut self.machine, DomId::DOM0);
-        // netback: map the granted guest page, build an skb, bridge it.
-        let xen = self.world.xen.as_mut().unwrap();
-        xen.grant_map(&mut self.machine);
-        {
-            let m = &mut self.machine;
-            m.meter
-                .charge_to(CostDomain::Dom0, m.cost.netfront_per_packet);
-            m.meter
-                .charge_to(CostDomain::Dom0, m.cost.bridge_per_packet);
-            m.meter
-                .charge_to(CostDomain::Dom0, m.cost.backend_tx_extra);
+        // netback: map each granted guest page, build skbs, bridge them.
+        let mut skbs = Vec::with_capacity(frames.len());
+        for frame in frames {
+            let xen = self.world.xen.as_mut().unwrap();
+            xen.grant_map(&mut self.machine);
+            {
+                let m = &mut self.machine;
+                m.meter
+                    .charge_to(CostDomain::Dom0, m.cost.netfront_per_packet);
+                m.meter
+                    .charge_to(CostDomain::Dom0, m.cost.bridge_per_packet);
+                m.meter.charge_to(CostDomain::Dom0, m.cost.backend_tx_extra);
+            }
+            let skb = match self.world.kernel.pool.alloc(&mut self.machine, self.dom0) {
+                Some(skb) => skb,
+                None => {
+                    self.free_skbs(&skbs)?;
+                    return Err(SystemError::Build("dom0 skb pool empty".into()));
+                }
+            };
+            skbs.push(skb);
+            if let Err(e) = skb.fill_from_frame(&mut self.machine, self.dom0, frame) {
+                self.free_skbs(&skbs)?;
+                return Err(e.into());
+            }
         }
-        let skb = self
-            .world
-            .kernel
-            .pool
-            .alloc(&mut self.machine, self.dom0)
-            .ok_or(SystemError::Build("dom0 skb pool empty".into()))?;
-        skb.fill_from_frame(&mut self.machine, self.dom0, frame)?;
-        let xmit = self.driver.entry("e1000_xmit_frame").unwrap();
-        self.machine.meter.push_domain(CostDomain::Driver);
-        let r = self.call_dom0(xmit, &[skb.0 as u32, self.netdev as u32], 2_000_000);
-        self.machine.meter.pop_domain();
-        let busy = r?;
-        if busy != 0 {
-            self.world.kernel.free_skb(&self.machine, skb)?;
-        }
-        // Unmap, produce the response, switch back to the guest.
+        let sent = self.drive_tx(&skbs, false)?;
+        // Unmap, produce the responses, one notification, switch back.
         let xen = self.world.xen.as_mut().unwrap();
-        xen.grant_unmap(&mut self.machine);
+        for _ in frames {
+            xen.grant_unmap(&mut self.machine);
+        }
         xen.send_virq(&mut self.machine, gid, 2);
         xen.switch_to(&mut self.machine, gid);
-        Ok(())
+        Ok(sent)
     }
 
     /// TwinDrivers transmit (paper §5.3): paravirtual driver hypercall →
-    /// hypervisor glue (dom0 skb + guest-page fragment) → hypervisor
-    /// driver instance, all without leaving the guest context.
-    fn tx_twin(&mut self, frame: &Frame) -> Result<(), SystemError> {
-        let header_copy = self.header_copy.min(frame.len());
-        {
+    /// hypervisor glue (dom0 skb + guest-page fragment per packet) →
+    /// hypervisor driver instance, all without leaving the guest
+    /// context. A burst pays **one** hypercall and one driver
+    /// invocation/doorbell.
+    fn tx_twin(&mut self, frames: &[Frame]) -> Result<usize, SystemError> {
+        for i in 0..frames.len() {
+            let c = self.tx_stack_cost(i);
             let m = &mut self.machine;
             // Guest stack + paravirtual driver.
-            m.meter.charge_to(CostDomain::DomU, m.cost.tcp_tx_per_packet);
+            m.meter.charge_to(CostDomain::DomU, c);
             m.meter.charge_to(CostDomain::DomU, m.cost.pv_driver_guest);
         }
         let xen = self.world.xen.as_mut().expect("xen");
         xen.hypercall(&mut self.machine);
-        {
-            let m = &mut self.machine;
-            m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_tx);
+        let mut skbs = Vec::with_capacity(frames.len());
+        for frame in frames {
+            let header_copy = self.header_copy.min(frame.len());
+            {
+                let m = &mut self.machine;
+                m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_tx);
+            }
+            // Acquire a pre-allocated dom0 sk_buff through the (possibly
+            // upcalled) support routine.
+            let skb = match self.call_support("netdev_alloc_skb", &[self.netdev as u32, 2048]) {
+                Ok(v) if v != 0 => SkBuff(v as u64),
+                Ok(_) => {
+                    self.free_skbs(&skbs)?;
+                    return Err(SystemError::Build("hypervisor skb pool empty".into()));
+                }
+                Err(e) => {
+                    self.free_skbs(&skbs)?;
+                    return Err(e);
+                }
+            };
+            skbs.push(skb);
+            // Copy the packet header into the sk_buff and chain the rest
+            // of the guest packet as a page fragment.
+            {
+                let m = &mut self.machine;
+                let c = m.cost.copy_cycles(header_copy as u64);
+                m.meter.charge_to(CostDomain::Xen, c);
+            }
+            let filled = skb
+                .fill_from_frame(&mut self.machine, self.dom0, frame)
+                .and_then(|()| skb.set_len(&mut self.machine, self.dom0, header_copy))
+                .and_then(|()| {
+                    skb.set_frag(
+                        &mut self.machine,
+                        self.dom0,
+                        self.guest_tx_frag,
+                        frame.len() - header_copy,
+                    )
+                });
+            if let Err(e) = filled {
+                self.free_skbs(&skbs)?;
+                return Err(e.into());
+            }
         }
-        // Acquire a pre-allocated dom0 sk_buff through the (possibly
-        // upcalled) support routine.
-        let skb = SkBuff(self.call_support("netdev_alloc_skb", &[self.netdev as u32, 2048])? as u64);
-        if skb.0 == 0 {
-            return Err(SystemError::Build("hypervisor skb pool empty".into()));
-        }
-        // Copy the packet header into the sk_buff and chain the rest of
-        // the guest packet as a page fragment.
-        {
-            let m = &mut self.machine;
-            let c = m.cost.copy_cycles(header_copy as u64);
-            m.meter.charge_to(CostDomain::Xen, c);
-        }
-        skb.fill_from_frame(&mut self.machine, self.dom0, frame)?;
-        skb.set_len(&mut self.machine, self.dom0, header_copy)?;
-        skb.set_frag(
-            &mut self.machine,
-            self.dom0,
-            self.guest_tx_frag,
-            frame.len() - header_copy,
-        )?;
-        let xmit = self
-            .hyperdrv
-            .as_ref()
-            .unwrap()
-            .entry("e1000_xmit_frame")
-            .unwrap();
-        self.machine.meter.push_domain(CostDomain::Driver);
-        let r = self.call_hyperdrv(xmit, &[skb.0 as u32, self.netdev as u32], 2_000_000);
-        self.machine.meter.pop_domain();
-        let busy = r?;
-        if busy != 0 {
-            self.world.kernel.free_skb(&self.machine, skb)?;
-        }
-        Ok(())
+        self.drive_tx(&skbs, true)
     }
 
     /// Receives one MTU-sized packet along the configuration's full path
-    /// (wire → NIC → interrupt → stack/guest).
+    /// (wire → NIC → interrupt → stack/guest) — a burst of one through
+    /// [`System::receive_burst`].
     ///
     /// # Errors
     ///
@@ -717,15 +875,82 @@ impl System {
     ///
     /// See [`System::receive_one`].
     pub fn receive_frame(&mut self, frame: &Frame) -> Result<(), SystemError> {
-        if !self.world.nics[0].deliver(&mut self.machine.phys, frame) {
-            return Err(SystemError::RxRingFull);
+        self.receive_burst(std::slice::from_ref(frame)).map(|_| ())
+    }
+
+    /// Injects a burst of frames from the wire and runs the
+    /// configuration's receive path with **one coalesced interrupt** per
+    /// hardware pass: the NIC fills as many RX descriptors as it has
+    /// buffers, asserts `RXT0` once, and a single handler pass reaps
+    /// them all, fanning the batch out to every destination guest in one
+    /// demux sweep (one virtual interrupt per guest per pass).
+    ///
+    /// Bursts larger than the posted buffers split into multiple
+    /// hardware passes (each replenishes the ring), so arbitrarily large
+    /// bursts still complete. Returns the number of frames delivered.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::RxRingFull`] if the ring accepts nothing at all;
+    /// otherwise propagates faults.
+    pub fn receive_burst(&mut self, frames: &[Frame]) -> Result<usize, SystemError> {
+        let mut done = 0;
+        while done < frames.len() {
+            let accepted =
+                self.world.nics[0].deliver_batch(&mut self.machine.phys, &frames[done..]);
+            if accepted == 0 {
+                if done == 0 {
+                    return Err(SystemError::RxRingFull);
+                }
+                break;
+            }
+            done += accepted;
+            match self.config {
+                Config::NativeLinux => self.rx_dom0_style(false)?,
+                Config::XenDom0 => self.rx_dom0_style(true)?,
+                Config::XenGuest => self.rx_baseline_guest()?,
+                Config::TwinDrivers => self.rx_twin()?,
+            }
         }
+        Ok(done)
+    }
+
+    /// Polled receive (NAPI-style): reaps every filled RX descriptor
+    /// through `e1000_poll_rx_batch` on the configuration's driver
+    /// instance — no interrupt dispatch, no `ICR` read — then flushes
+    /// per-guest queues. Returns the number of frames reaped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults; [`SystemError::DriverAborted`] if the
+    /// hypervisor driver is dead.
+    pub fn poll_rx_batch(&mut self) -> Result<usize, SystemError> {
+        self.world.kernel.begin_stack_burst();
+        self.machine.meter.push_domain(CostDomain::Driver);
+        let r = if self.config == Config::TwinDrivers {
+            let poll = self
+                .hyperdrv
+                .as_ref()
+                .unwrap()
+                .poll_rx_batch_entry()
+                .unwrap();
+            self.call_hyperdrv(poll, &[self.netdev as u32], 20_000_000)
+        } else {
+            let poll = self.driver.entry("e1000_poll_rx_batch").unwrap();
+            self.call_dom0(poll, &[self.netdev as u32], 20_000_000)
+        };
+        self.machine.meter.pop_domain();
+        let reaped = r? as usize;
         match self.config {
-            Config::NativeLinux => self.rx_dom0_style(false),
-            Config::XenDom0 => self.rx_dom0_style(true),
-            Config::XenGuest => self.rx_baseline_guest(),
-            Config::TwinDrivers => self.rx_twin(),
+            // Hypervisor demux queued frames per guest: flush them.
+            Config::TwinDrivers => self.flush_guest_rx_queues()?,
+            // Bridge mode queued frames toward the backend: push them
+            // through the I/O channel (the poll runs in dom0, so no
+            // domain switches around it).
+            Config::XenGuest => self.forward_bridged_frames()?,
+            _ => {}
         }
+        Ok(reaped)
     }
 
     /// Adds another guest domain (TwinDrivers configuration) with its own
@@ -748,7 +973,12 @@ impl System {
     }
 
     fn dispatch_dom0_irq(&mut self) -> Result<(), SystemError> {
+        // One interrupt covers however many descriptors the NIC filled;
+        // the first packet the handler pushes into the stack pays the
+        // full wakeup cost, the rest of the burst the GRO marginal.
+        self.world.kernel.begin_stack_burst();
         let m = &mut self.machine;
+        m.meter.count_event("irq");
         m.meter.charge_to(CostDomain::Dom0, m.cost.irq_dispatch);
         let handler = *self
             .world
@@ -777,21 +1007,33 @@ impl System {
 
     fn rx_baseline_guest(&mut self) -> Result<(), SystemError> {
         let gid = self.guest.expect("guest");
-        // Interrupt arrives while the guest runs: switch to dom0 first.
+        // Interrupt arrives while the guest runs: switch to dom0 first —
+        // once per coalesced interrupt, not once per frame.
         let xen = self.world.xen.as_mut().expect("xen");
         xen.send_virq(&mut self.machine, DomId::DOM0, 3);
         xen.switch_to(&mut self.machine, DomId::DOM0);
         self.dispatch_dom0_irq()?;
-        // The bridge queued frames toward the backend; push each through
-        // the I/O channel into the guest.
+        self.forward_bridged_frames()?;
+        let xen = self.world.xen.as_mut().unwrap();
+        xen.switch_to(&mut self.machine, gid);
+        Ok(())
+    }
+
+    /// Pushes frames the bridge queued toward the backend through the
+    /// I/O channel into the guest (baseline path, running in dom0):
+    /// grants and copies stay per-packet, the guest is notified once for
+    /// the whole batch, and its stack pays the full wakeup cost only for
+    /// the first frame.
+    fn forward_bridged_frames(&mut self) -> Result<(), SystemError> {
+        let gid = self.guest.expect("guest");
         let frames: Vec<Frame> = self.world.kernel.rx_delivered.drain(..).collect();
-        for f in frames {
+        let batched = !frames.is_empty();
+        for (i, f) in frames.into_iter().enumerate() {
             {
                 let m = &mut self.machine;
                 m.meter
                     .charge_to(CostDomain::Dom0, m.cost.netfront_per_packet);
-                m.meter
-                    .charge_to(CostDomain::Dom0, m.cost.backend_rx_extra);
+                m.meter.charge_to(CostDomain::Dom0, m.cost.backend_rx_extra);
                 // Grant-copy of the packet into guest memory.
                 let c = m.cost.copy_cycles(f.len() as u64);
                 m.meter.charge_to(CostDomain::Dom0, c);
@@ -799,29 +1041,35 @@ impl System {
             let xen = self.world.xen.as_mut().unwrap();
             xen.grant_map(&mut self.machine);
             xen.grant_unmap(&mut self.machine);
-            xen.send_virq(&mut self.machine, gid, 4);
             {
                 let m = &mut self.machine;
                 m.meter
                     .charge_to(CostDomain::DomU, m.cost.netfront_per_packet);
-                m.meter
-                    .charge_to(CostDomain::DomU, m.cost.tcp_rx_per_packet);
+                let stack = if i == 0 {
+                    m.cost.tcp_rx_per_packet
+                } else {
+                    m.cost.tcp_rx_batch_marginal
+                };
+                m.meter.charge_to(CostDomain::DomU, stack);
             }
             let xen = self.world.xen.as_mut().unwrap();
             xen.domain_mut(gid).rx_delivered.push(f);
         }
-        let xen = self.world.xen.as_mut().unwrap();
-        xen.switch_to(&mut self.machine, gid);
+        if batched {
+            let xen = self.world.xen.as_mut().unwrap();
+            xen.send_virq(&mut self.machine, gid, 4);
+        }
         Ok(())
     }
 
     fn rx_twin(&mut self) -> Result<(), SystemError> {
-        let gid = self.guest.expect("guest");
         // The hypervisor takes the interrupt directly and runs the
         // hypervisor driver's handler in softirq context (paper §4.4) —
-        // from the current (guest) context, no switch.
+        // from the current (guest) context, no switch. One softirq pass
+        // reaps every descriptor the NIC filled for this interrupt.
         {
             let m = &mut self.machine;
+            m.meter.count_event("irq");
             m.meter.charge_to(CostDomain::Xen, m.cost.irq_dispatch);
         }
         let xen = self.world.xen.as_mut().expect("xen");
@@ -829,21 +1077,20 @@ impl System {
         let work = xen.take_runnable_softirqs();
         for w in work {
             let Softirq::DriverIrq { .. } = w;
-            let intr = self
-                .hyperdrv
-                .as_ref()
-                .unwrap()
-                .entry("e1000_intr")
-                .unwrap();
+            let intr = self.hyperdrv.as_ref().unwrap().entry("e1000_intr").unwrap();
             self.machine.meter.push_domain(CostDomain::Driver);
             let r = self.call_hyperdrv(intr, &[self.netdev as u32], 20_000_000);
             self.machine.meter.pop_domain();
             r?;
         }
-        // Frames were demultiplexed to per-guest queues; when each guest
-        // is scheduled the hypervisor copies them into guest buffers and
-        // raises a virtual interrupt (paper §5.3).
-        let _ = gid;
+        self.flush_guest_rx_queues()
+    }
+
+    /// Fans demultiplexed frames out of the per-guest RX queues into the
+    /// guests: per-packet copies and glue, but **one** virtual interrupt
+    /// per guest per pass, and the guest stack pays the full wakeup cost
+    /// only for the first frame of its batch (paper §5.3, batched).
+    fn flush_guest_rx_queues(&mut self) -> Result<(), SystemError> {
         let guest_ids: Vec<DomId> = self
             .world
             .xen
@@ -859,20 +1106,24 @@ impl System {
                 let xen = self.world.xen.as_mut().unwrap();
                 xen.domain_mut(g).rx_queue.drain(..).collect()
             };
-            for f in frames {
+            let xen = self.world.xen.as_mut().unwrap();
+            xen.send_virq(&mut self.machine, g, 4);
+            for (i, f) in frames.into_iter().enumerate() {
                 {
                     let m = &mut self.machine;
                     let c = m.cost.copy_cycles(f.len() as u64);
                     m.meter.charge_to(CostDomain::Xen, c);
                     m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_rx);
                 }
-                let xen = self.world.xen.as_mut().unwrap();
-                xen.send_virq(&mut self.machine, g, 4);
                 {
                     let m = &mut self.machine;
                     m.meter.charge_to(CostDomain::DomU, m.cost.pv_driver_guest);
-                    m.meter
-                        .charge_to(CostDomain::DomU, m.cost.tcp_rx_per_packet);
+                    let stack = if i == 0 {
+                        m.cost.tcp_rx_per_packet
+                    } else {
+                        m.cost.tcp_rx_batch_marginal
+                    };
+                    m.meter.charge_to(CostDomain::DomU, stack);
                 }
                 let xen = self.world.xen.as_mut().unwrap();
                 xen.domain_mut(g).rx_delivered.push(f);
@@ -892,7 +1143,13 @@ impl System {
             Config::NativeLinux | Config::XenDom0 => self.world.kernel.rx_delivered.len(),
             Config::XenGuest | Config::TwinDrivers => {
                 let gid = self.guest.expect("guest");
-                self.world.xen.as_ref().unwrap().domain(gid).rx_delivered.len()
+                self.world
+                    .xen
+                    .as_ref()
+                    .unwrap()
+                    .domain(gid)
+                    .rx_delivered
+                    .len()
             }
         }
     }
@@ -934,5 +1191,73 @@ impl System {
             self.receive_one()?;
         }
         Ok(Breakdown::from_meter(&self.machine.meter, packets))
+    }
+
+    /// Measures amortized transmit cost at a fixed burst size: at least
+    /// `packets` packets move in bursts of `burst`, and the breakdown
+    /// divides total cycles by the packets actually sent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-burst errors; [`SystemError::Build`] if the ring
+    /// stops accepting packets entirely.
+    pub fn measure_tx_burst(
+        &mut self,
+        burst: usize,
+        packets: u64,
+    ) -> Result<crate::measure::BurstMeasurement, SystemError> {
+        let burst = burst.clamp(1, MAX_BURST);
+        for _ in 0..32 {
+            self.transmit_one()?;
+        }
+        self.take_wire_frames();
+        self.machine.meter.reset();
+        let mut sent = 0u64;
+        while sent < packets {
+            let n = burst.min((packets - sent) as usize);
+            let accepted = self.transmit_burst(n)?;
+            if accepted == 0 {
+                return Err(SystemError::Build("transmit ring wedged".into()));
+            }
+            sent += accepted as u64;
+        }
+        Ok(self.burst_measurement(burst, sent))
+    }
+
+    /// Measures amortized receive cost at a fixed burst size (see
+    /// [`System::measure_tx_burst`]; the warm-up matches
+    /// [`System::measure_rx`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-burst errors.
+    pub fn measure_rx_burst(
+        &mut self,
+        burst: usize,
+        packets: u64,
+    ) -> Result<crate::measure::BurstMeasurement, SystemError> {
+        let burst = burst.clamp(1, MAX_BURST);
+        for _ in 0..160 {
+            self.receive_one()?;
+        }
+        self.machine.meter.reset();
+        let mut got = 0u64;
+        while got < packets {
+            let n = burst.min((packets - got) as usize);
+            let frames: Vec<Frame> = (0..n).map(|_| self.next_rx_frame()).collect();
+            got += self.receive_burst(&frames)? as u64;
+        }
+        Ok(self.burst_measurement(burst, got))
+    }
+
+    fn burst_measurement(&self, burst: usize, packets: u64) -> crate::measure::BurstMeasurement {
+        let meter = &self.machine.meter;
+        let per_packet = |ev: &str| meter.event(ev) as f64 / packets.max(1) as f64;
+        crate::measure::BurstMeasurement {
+            burst,
+            breakdown: Breakdown::from_meter(meter, packets),
+            irqs_per_packet: per_packet("irq"),
+            doorbells_per_packet: per_packet("doorbell"),
+        }
     }
 }

@@ -149,8 +149,12 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_' || c == '.').unwrap_or(false)
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+        && s.chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+            .unwrap_or(false)
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
 }
 
 fn handle_directive(
@@ -203,13 +207,18 @@ fn handle_directive(
         }
         "byte" => {
             for part in arg.split(',') {
-                let v = parse_int(part.trim())
-                    .map_err(|e| AsmError { line: lineno, message: e })?;
+                let v = parse_int(part.trim()).map_err(|e| AsmError {
+                    line: lineno,
+                    message: e,
+                })?;
                 data_items.push((lineno, DataItem::Byte(v as u8)));
             }
         }
         "zero" | "skip" | "space" => {
-            let v = parse_int(arg).map_err(|e| AsmError { line: lineno, message: e })?;
+            let v = parse_int(arg).map_err(|e| AsmError {
+                line: lineno,
+                message: e,
+            })?;
             data_items.push((lineno, DataItem::Zero(v as u64)));
         }
         "asciz" | "string" => {
@@ -223,15 +232,20 @@ fn handle_directive(
             data_items.push((lineno, DataItem::Asciz(s.to_string())));
         }
         "align" => {
-            let v = parse_int(arg).map_err(|e| AsmError { line: lineno, message: e })?;
+            let v = parse_int(arg).map_err(|e| AsmError {
+                line: lineno,
+                message: e,
+            })?;
             data_items.push((lineno, DataItem::Align(v as u64)));
         }
         "comm" => {
             // .comm name, size  — common (zero-initialised) symbol.
             let mut parts = arg.splitn(2, ',');
             let nm = parts.next().unwrap_or("").trim().to_string();
-            let sz = parse_int(parts.next().unwrap_or("").trim())
-                .map_err(|e| AsmError { line: lineno, message: e })?;
+            let sz = parse_int(parts.next().unwrap_or("").trim()).map_err(|e| AsmError {
+                line: lineno,
+                message: e,
+            })?;
             if !is_ident(&nm) {
                 return err(lineno, format!("bad .comm name `{nm}`"));
             }
@@ -290,7 +304,8 @@ fn parse_int(s: &str) -> Result<i64, String> {
     let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).map_err(|_| format!("bad integer `{s}`"))? as i64
     } else {
-        body.parse::<i64>().map_err(|_| format!("bad integer `{s}`"))?
+        body.parse::<i64>()
+            .map_err(|_| format!("bad integer `{s}`"))?
     };
     Ok(if neg { -v } else { v })
 }
@@ -337,11 +352,10 @@ fn parse_mem(s: &str, lineno: usize) -> Result<MemRef, AsmError> {
             mem.disp = v;
         } else {
             // symbol, symbol+n, symbol-n
-            let (sym, off) = split_sym_offset(disp_str)
-                .ok_or_else(|| AsmError {
-                    line: lineno,
-                    message: format!("bad displacement `{disp_str}`"),
-                })?;
+            let (sym, off) = split_sym_offset(disp_str).ok_or_else(|| AsmError {
+                line: lineno,
+                message: format!("bad displacement `{disp_str}`"),
+            })?;
             mem.sym = Some(sym.to_string());
             mem.disp = off;
         }
@@ -361,9 +375,10 @@ fn parse_mem(s: &str, lineno: usize) -> Result<MemRef, AsmError> {
             if !i.is_empty() {
                 let r = parse_reg(i, lineno)?;
                 let scale = match parts.get(2) {
-                    Some(sc) if !sc.is_empty() => parse_int(sc)
-                        .map_err(|e| AsmError { line: lineno, message: e })?
-                        as u8,
+                    Some(sc) if !sc.is_empty() => parse_int(sc).map_err(|e| AsmError {
+                        line: lineno,
+                        message: e,
+                    })? as u8,
                     _ => 1,
                 };
                 if ![1, 2, 4, 8].contains(&scale) {
@@ -482,7 +497,10 @@ fn parse_insn(line: &str, lineno: usize) -> Result<Insn, AsmError> {
         if ops.len() != 2 {
             return err(lineno, format!("expected 2 operands, got {}", ops.len()));
         }
-        Ok((parse_operand(ops[0], lineno)?, parse_operand(ops[1], lineno)?))
+        Ok((
+            parse_operand(ops[0], lineno)?,
+            parse_operand(ops[1], lineno)?,
+        ))
     };
     let one = |lineno: usize| -> Result<Operand, AsmError> {
         if ops.len() != 1 {
@@ -502,7 +520,10 @@ fn parse_insn(line: &str, lineno: usize) -> Result<Insn, AsmError> {
             let dst = match dst {
                 Operand::Reg(r) => r,
                 other => {
-                    return err(lineno, format!("extension destination must be a register, got `{other:?}`"))
+                    return err(
+                        lineno,
+                        format!("extension destination must be a register, got `{other:?}`"),
+                    )
                 }
             };
             return Ok(if mnemonic.starts_with("movz") {
@@ -528,7 +549,11 @@ fn parse_insn(line: &str, lineno: usize) -> Result<Insn, AsmError> {
                 if !ops.is_empty() {
                     return err(lineno, "string instructions take no operands".into());
                 }
-                return Ok(Insn::Str { op, w, rep: Rep::None });
+                return Ok(Insn::Str {
+                    op,
+                    w,
+                    rep: Rep::None,
+                });
             }
         }
     }
@@ -745,8 +770,22 @@ mod tests {
                 rep: Rep::Repne
             }
         );
-        assert!(matches!(m.text[3], Insn::Movzx { w: Width::Byte, dst: Reg::Ecx, .. }));
-        assert!(matches!(m.text[4], Insn::Movsx { w: Width::Word, dst: Reg::Edx, .. }));
+        assert!(matches!(
+            m.text[3],
+            Insn::Movzx {
+                w: Width::Byte,
+                dst: Reg::Ecx,
+                ..
+            }
+        ));
+        assert!(matches!(
+            m.text[4],
+            Insn::Movsx {
+                w: Width::Word,
+                dst: Reg::Edx,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -765,9 +804,21 @@ mod tests {
         "#,
         )
         .unwrap();
-        assert!(matches!(&m.text[0], Insn::Call { target: Target::Label(l) } if l == "f" || l == "helper"));
-        assert!(matches!(&m.text[1], Insn::Call { target: Target::Reg(Reg::Eax) }));
-        assert!(matches!(&m.text[2], Insn::Call { target: Target::Mem(_) }));
+        assert!(
+            matches!(&m.text[0], Insn::Call { target: Target::Label(l) } if l == "f" || l == "helper")
+        );
+        assert!(matches!(
+            &m.text[1],
+            Insn::Call {
+                target: Target::Reg(Reg::Eax)
+            }
+        ));
+        assert!(matches!(
+            &m.text[2],
+            Insn::Call {
+                target: Target::Mem(_)
+            }
+        ));
         assert!(matches!(&m.text[4], Insn::Jcc { cond: Cond::E, .. }));
         assert!(matches!(&m.text[5], Insn::Jcc { cond: Cond::Ne, .. }));
     }
@@ -836,9 +887,27 @@ mod tests {
         "#,
         )
         .unwrap();
-        assert!(matches!(&m.text[0], Insn::Mov { src: Operand::Imm(42), .. }));
-        assert!(matches!(&m.text[1], Insn::Mov { src: Operand::Imm(-1), .. }));
-        assert!(matches!(&m.text[2], Insn::Mov { src: Operand::Imm(16), .. }));
+        assert!(matches!(
+            &m.text[0],
+            Insn::Mov {
+                src: Operand::Imm(42),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &m.text[1],
+            Insn::Mov {
+                src: Operand::Imm(-1),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &m.text[2],
+            Insn::Mov {
+                src: Operand::Imm(16),
+                ..
+            }
+        ));
         assert!(matches!(&m.text[3], Insn::Mov { src: Operand::Sym(s, 0), .. } if s == "adapter"));
         assert!(matches!(&m.text[4], Insn::Mov { src: Operand::Sym(s, 8), .. } if s == "adapter"));
     }

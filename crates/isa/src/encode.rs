@@ -84,13 +84,10 @@ impl<'a> Reader<'a> {
         })
     }
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        let b = *self
-            .buf
-            .get(self.pos)
-            .ok_or_else(|| DecodeError {
-                offset: self.pos,
-                message: "unexpected end of input".into(),
-            })?;
+        let b = *self.buf.get(self.pos).ok_or_else(|| DecodeError {
+            offset: self.pos,
+            message: "unexpected end of input".into(),
+        })?;
         self.pos += 1;
         Ok(b)
     }
@@ -194,7 +191,11 @@ fn put_mem(w: &mut Writer, m: &MemRef) {
 
 fn get_mem(r: &mut Reader) -> Result<MemRef, DecodeError> {
     let flags = r.u8()?;
-    let base = if flags & 1 != 0 { Some(get_reg(r)?) } else { None };
+    let base = if flags & 1 != 0 {
+        Some(get_reg(r)?)
+    } else {
+        None
+    };
     let index = if flags & 2 != 0 {
         let reg = get_reg(r)?;
         let scale = r.u8()?;
@@ -204,7 +205,12 @@ fn get_mem(r: &mut Reader) -> Result<MemRef, DecodeError> {
     };
     let disp = r.i64()?;
     let sym = if flags & 4 != 0 { Some(r.str()?) } else { None };
-    Ok(MemRef { base, index, disp, sym })
+    Ok(MemRef {
+        base,
+        index,
+        disp,
+        sym,
+    })
 }
 
 fn put_operand(w: &mut Writer, o: &Operand) {
@@ -326,7 +332,12 @@ fn put_insn(w: &mut Writer, insn: &Insn) {
             put_reg(w, *dst);
             put_mem(w, mem);
         }
-        Insn::Alu { op, w: width, dst, src } => {
+        Insn::Alu {
+            op,
+            w: width,
+            dst,
+            src,
+        } => {
             w.u8(4);
             w.u8(alu_code(*op));
             put_width(w, *width);
@@ -499,9 +510,15 @@ fn get_insn(r: &mut Reader) -> Result<Insn, DecodeError> {
             let src = get_operand(r)?;
             Insn::Imul { dst, src }
         }
-        10 => Insn::Push { src: get_operand(r)? },
-        11 => Insn::Pop { dst: get_operand(r)? },
-        12 => Insn::Jmp { target: get_target(r)? },
+        10 => Insn::Push {
+            src: get_operand(r)?,
+        },
+        11 => Insn::Pop {
+            dst: get_operand(r)?,
+        },
+        12 => Insn::Jmp {
+            target: get_target(r)?,
+        },
         13 => {
             let cond = match r.u8()? {
                 0 => Cond::E,
@@ -518,9 +535,14 @@ fn get_insn(r: &mut Reader) -> Result<Insn, DecodeError> {
                 11 => Cond::Ns,
                 other => return r.err(format!("bad cond {other}")),
             };
-            Insn::Jcc { cond, target: get_target(r)? }
+            Insn::Jcc {
+                cond,
+                target: get_target(r)?,
+            }
         }
-        14 => Insn::Call { target: get_target(r)? },
+        14 => Insn::Call {
+            target: get_target(r)?,
+        },
         15 => Insn::Ret,
         16 => {
             let op = match r.u8()? {
@@ -696,7 +718,10 @@ mod tests {
         for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
             w.i64(v);
         }
-        let mut r = Reader { buf: &w.buf, pos: 0 };
+        let mut r = Reader {
+            buf: &w.buf,
+            pos: 0,
+        };
         for v in [0u64, 1, 127, 128, 16384, u64::MAX] {
             assert_eq!(r.u64().unwrap(), v);
         }

@@ -785,20 +785,21 @@ impl Insn {
                     v.push(m);
                 }
             }
-            Insn::Imul { src, .. } => {
-                if let Operand::Mem(m) = src {
-                    v.push(m);
-                }
+            Insn::Imul {
+                src: Operand::Mem(m),
+                ..
+            } => {
+                v.push(m);
             }
-            Insn::Push { src } => {
-                if let Operand::Mem(m) = src {
-                    v.push(m);
-                }
+            Insn::Push {
+                src: Operand::Mem(m),
+            } => {
+                v.push(m);
             }
-            Insn::Pop { dst } => {
-                if let Operand::Mem(m) = dst {
-                    v.push(m);
-                }
+            Insn::Pop {
+                dst: Operand::Mem(m),
+            } => {
+                v.push(m);
             }
             Insn::Jmp { target } | Insn::Jcc { target, .. } | Insn::Call { target } => {
                 if let Target::Mem(m) = target {
@@ -956,7 +957,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(mov_load(Reg::Eax, Reg::Ebx, 8).to_string(), "movl 8(%ebx), %eax");
+        assert_eq!(
+            mov_load(Reg::Eax, Reg::Ebx, 8).to_string(),
+            "movl 8(%ebx), %eax"
+        );
         assert_eq!(
             Insn::Lea {
                 dst: Reg::Ecx,

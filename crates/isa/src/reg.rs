@@ -43,14 +43,8 @@ impl Reg {
 
     /// Registers the SVM rewriter may use as scratch when they are dead
     /// (everything except the stack and frame pointers).
-    pub const SCRATCH_CANDIDATES: [Reg; 6] = [
-        Reg::Eax,
-        Reg::Ecx,
-        Reg::Edx,
-        Reg::Ebx,
-        Reg::Esi,
-        Reg::Edi,
-    ];
+    pub const SCRATCH_CANDIDATES: [Reg; 6] =
+        [Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx, Reg::Esi, Reg::Edi];
 
     /// Numeric encoding (0..8).
     #[inline]

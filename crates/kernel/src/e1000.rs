@@ -5,12 +5,17 @@
 //! the paper compiles the Linux e1000 driver to assembly and rewrites it
 //! (§5.1). The structure mirrors the real driver:
 //!
+//! * `e1000_xmit_fill` — the descriptor-fill half of transmit (map the
+//!   buffer(s) for DMA, write descriptors, bookkeeping — no doorbell);
 //! * `e1000_xmit_frame` — take the TX lock, reap completed descriptors
-//!   (`e1000_clean_tx`), map the buffer(s) for DMA, fill descriptors,
-//!   bump `TDT` with one MMIO write;
-//! * `e1000_intr` → `e1000_clean_rx` — read `ICR`, reap `DD` receive
-//!   descriptors, `eth_type_trans`, `netif_rx`, replenish buffers, bump
-//!   `RDT`;
+//!   (`e1000_clean_tx`), fill one packet, bump `TDT` with one MMIO write;
+//! * `e1000_xmit_batch` — the burst entry: one lock acquisition, one reap
+//!   pass, N fills, **one** `TDT` doorbell for the whole burst;
+//! * `e1000_intr` → `e1000_clean_rx` — read `ICR`, reap every `DD`
+//!   receive descriptor in one pass, `eth_type_trans`, `netif_rx`,
+//!   replenish buffers, bump `RDT` once;
+//! * `e1000_poll_rx_batch` — NAPI-style polled receive: reap without an
+//!   `ICR` read, for callers that already coalesced the interrupt;
 //! * probe/open/close/watchdog/ethtool paths that call the long tail of
 //!   kernel support routines (the paper counts 97 for the real driver —
 //!   only the ten in Table 1 appear on the error-free TX/RX path).
@@ -69,6 +74,12 @@ pub mod adapter {
     pub const IRQ_COUNT: u64 = 88;
     /// Hardware stats mirror (GPRC/GPTC/MPC), filled by the watchdog.
     pub const HW_STATS: u64 = 100;
+    /// Checksum-context scratch word (partial pseudo-header sum).
+    pub const CSUM_SCRATCH: u64 = 112;
+    /// Cached PHY BMSR, refreshed by the watchdog.
+    pub const PHY_STATUS: u64 = 116;
+    /// Frames delivered by the most recent `e1000_clean_rx` pass.
+    pub const RX_REAPED: u64 = 120;
 }
 
 /// Returns the driver's assembly source.
@@ -317,47 +328,49 @@ e1000_clean_tx:
     ret
 
 # ---------------------------------------------------------------------
-# e1000_xmit_frame(skb, dev) -> 0 ok, 1 busy
+# e1000_xmit_fill(skb) -> 0 ok, 1 no-descriptor/runt.
+# The descriptor-fill half of transmit: maps the buffer(s), writes the
+# descriptor(s) and updates bookkeeping, but does NOT touch TDT. The
+# caller holds the TX lock and issues the doorbell, so a burst of fills
+# shares a single posted MMIO write.
 # ---------------------------------------------------------------------
-    .globl e1000_xmit_frame
-e1000_xmit_frame:
+    .globl e1000_xmit_fill
+e1000_xmit_fill:
     pushl %ebp
     movl %esp, %ebp
     pushl %ebx
     pushl %esi
     pushl %edi
     movl $adapter, %ebx
-    movl $adapter, %eax
-    addl $48, %eax
-    pushl %eax
-    call spin_trylock
-    addl $4, %esp
-    cmpl $0, %eax
-    je .Lxmit_busy
-    call e1000_clean_tx
-    movl 20(%ebx), %esi         # next_use
-    movl %esi, %eax
-    incl %eax
-    andl $127, %eax
-    cmpl 24(%ebx), %eax         # would collide with next_clean?
-    je .Lxmit_full
     movl 8(%ebp), %edi          # skb
+    movl 20(%ebx), %esi         # next_use
+    # free descriptors = (next_clean - next_use - 1) mod ring; a packet
+    # needs 1 + nr_frags slots (a fragmented packet takes two, so the
+    # single-slot collision test would let a burst lap the ring)
+    movl 24(%ebx), %eax
+    subl %esi, %eax
+    decl %eax
+    andl $127, %eax
+    movl 28(%edi), %ecx         # nr_frags
+    incl %ecx                   # descriptors needed
+    cmpl %ecx, %eax
+    jl .Lfill_full
     # sanity: reject runt frames (below the Ethernet minimum)
     movl 4(%edi), %eax
     addl 24(%edi), %eax         # linear + fragment bytes
     cmpl $14, %eax
-    jl .Lxmit_full
+    jl .Lfill_full
     # pseudo-header checksum over the first 16 bytes, folded into the
     # hardware checksum context (the real driver prepares a context
     # descriptor with exactly this kind of partial sum)
     movl (%edi), %edx           # skb->data
     movl $0, %eax
     movl $4, %ecx
-.Lxmit_csum:
+.Lfill_csum:
     addl (%edx), %eax
     addl $4, %edx
     decl %ecx
-    jne .Lxmit_csum
+    jne .Lfill_csum
     movl %eax, %edx
     shrl $16, %edx
     addl %edx, %eax             # fold carries
@@ -369,15 +382,15 @@ e1000_xmit_frame:
     addl $8, %esp               # eax = machine address
     movl 28(%edi), %ecx         # nr_frags
     cmpl $0, %ecx
-    jne .Lxmit_frag
+    jne .Lfill_frag
     pushl $9                    # cmd = EOP|RS
     pushl 4(%edi)
     pushl %eax
     pushl %esi
     call e1000_fill_desc
     addl $16, %esp
-    jmp .Lxmit_store
-.Lxmit_frag:
+    jmp .Lfill_store
+.Lfill_frag:
     pushl $8                    # cmd = RS (more descriptors follow)
     pushl 4(%edi)
     pushl %eax
@@ -405,7 +418,7 @@ e1000_xmit_frame:
     shll $2, %edx
     addl %edx, %eax
     movl $0, (%eax)
-.Lxmit_store:
+.Lfill_store:
     movl 52(%ebx), %ecx
     movl %esi, %edx
     shll $2, %edx
@@ -419,30 +432,12 @@ e1000_xmit_frame:
     movl 4(%edi), %eax
     addl 24(%edi), %eax         # plus frag bytes (0 if none)
     addl %eax, 64(%ebx)         # tx_bytes
-    movl (%ebx), %ecx           # hw_addr
-    movl 20(%ebx), %eax
-    movl %eax, 0x3818(%ecx)     # TDT: the posted doorbell write
-    movl $adapter, %eax
-    addl $48, %eax
-    pushl $0
-    pushl %eax
-    call spin_unlock_irqrestore
-    addl $8, %esp
     movl $0, %eax
-    jmp .Lxmit_out
-.Lxmit_full:
+    jmp .Lfill_out
+.Lfill_full:
     incl 76(%ebx)               # tx_errors
-    movl $adapter, %eax
-    addl $48, %eax
-    pushl $0
-    pushl %eax
-    call spin_unlock_irqrestore
-    addl $8, %esp
     movl $1, %eax
-    jmp .Lxmit_out
-.Lxmit_busy:
-    movl $1, %eax
-.Lxmit_out:
+.Lfill_out:
     popl %edi
     popl %esi
     popl %ebx
@@ -450,7 +445,114 @@ e1000_xmit_frame:
     ret
 
 # ---------------------------------------------------------------------
-# e1000_clean_rx(): reap received packets, hand to stack, replenish.
+# e1000_xmit_frame(skb, dev) -> 0 ok, 1 busy: the per-packet entry,
+# now a burst of one — lock, reap, fill, one doorbell.
+# ---------------------------------------------------------------------
+    .globl e1000_xmit_frame
+e1000_xmit_frame:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    movl $adapter, %ebx
+    movl $adapter, %eax
+    addl $48, %eax
+    pushl %eax
+    call spin_trylock
+    addl $4, %esp
+    cmpl $0, %eax
+    je .Lxmit_busy
+    call e1000_clean_tx
+    pushl 8(%ebp)
+    call e1000_xmit_fill
+    addl $4, %esp
+    movl %eax, %esi             # fill status
+    cmpl $0, %esi
+    jne .Lxmit_nokick
+    movl (%ebx), %ecx           # hw_addr
+    movl 20(%ebx), %eax
+    movl %eax, 0x3818(%ecx)     # TDT: the posted doorbell write
+.Lxmit_nokick:
+    movl $adapter, %eax
+    addl $48, %eax
+    pushl $0
+    pushl %eax
+    call spin_unlock_irqrestore
+    addl $8, %esp
+    movl %esi, %eax
+    jmp .Lxmit_out
+.Lxmit_busy:
+    movl $1, %eax
+.Lxmit_out:
+    popl %esi
+    popl %ebx
+    popl %ebp
+    ret
+
+# ---------------------------------------------------------------------
+# e1000_xmit_batch(array, count, dev) -> frames accepted.
+# One lock acquisition, one reap pass and one TDT doorbell move the
+# whole burst; `array` holds `count` skb pointers in driver memory.
+# Stops early when the ring fills; the caller owns unaccepted skbs.
+# ---------------------------------------------------------------------
+    .globl e1000_xmit_batch
+e1000_xmit_batch:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    movl $adapter, %ebx
+    movl $adapter, %eax
+    addl $48, %eax
+    pushl %eax
+    call spin_trylock
+    addl $4, %esp
+    cmpl $0, %eax
+    je .Lxb_busy
+    call e1000_clean_tx
+    movl $0, %esi               # accepted
+.Lxb_loop:
+    cmpl 12(%ebp), %esi         # whole burst placed?
+    je .Lxb_kick
+    movl 8(%ebp), %eax          # skb pointer array
+    movl %esi, %edx
+    shll $2, %edx
+    addl %edx, %eax
+    movl (%eax), %eax           # skb
+    pushl %eax
+    call e1000_xmit_fill
+    addl $4, %esp
+    cmpl $0, %eax
+    jne .Lxb_kick               # ring full: kick what we have
+    incl %esi
+    jmp .Lxb_loop
+.Lxb_kick:
+    cmpl $0, %esi
+    je .Lxb_unlock
+    movl (%ebx), %ecx           # hw_addr
+    movl 20(%ebx), %eax
+    movl %eax, 0x3818(%ecx)     # single doorbell for the whole burst
+.Lxb_unlock:
+    movl $adapter, %eax
+    addl $48, %eax
+    pushl $0
+    pushl %eax
+    call spin_unlock_irqrestore
+    addl $8, %esp
+    movl %esi, %eax
+    jmp .Lxb_out
+.Lxb_busy:
+    movl $0, %eax
+.Lxb_out:
+    popl %esi
+    popl %ebx
+    popl %ebp
+    ret
+
+# ---------------------------------------------------------------------
+# e1000_clean_rx() -> frames delivered: reap every DD descriptor in one
+# pass (the burst half of receive), hand each to the stack, replenish,
+# and bump RDT once at the end of the pass.
 # ---------------------------------------------------------------------
     .globl e1000_clean_rx
 e1000_clean_rx:
@@ -460,6 +562,7 @@ e1000_clean_rx:
     pushl %esi
     pushl %edi
     movl $adapter, %ebx
+    movl $0, 120(%ebx)          # reap count for this pass
     movl 44(%ebx), %esi         # rx next_clean
 .Lcrx_loop:
     movl 28(%ebx), %ecx
@@ -494,6 +597,7 @@ e1000_clean_rx:
     addl $8, %esp
     movl %eax, 12(%edi)         # skb->protocol
     incl 68(%ebx)               # rx_packets
+    incl 120(%ebx)              # reap count
     movl 4(%edi), %eax
     addl %eax, 72(%ebx)         # rx_bytes
     pushl %edi
@@ -544,9 +648,24 @@ e1000_clean_rx:
     movl (%ebx), %ecx
     movl 40(%ebx), %eax
     movl %eax, 0x2818(%ecx)     # RDT
+    movl 120(%ebx), %eax        # return frames delivered
     popl %edi
     popl %esi
     popl %ebx
+    popl %ebp
+    ret
+
+# ---------------------------------------------------------------------
+# e1000_poll_rx_batch(dev) -> frames reaped: NAPI-style polled receive.
+# No ICR read — the caller (hypervisor softirq or a polling kernel)
+# already knows work is pending, so one coalesced interrupt ack covers
+# the whole burst.
+# ---------------------------------------------------------------------
+    .globl e1000_poll_rx_batch
+e1000_poll_rx_batch:
+    pushl %ebp
+    movl %esp, %ebp
+    call e1000_clean_rx
     popl %ebp
     ret
 
@@ -1093,11 +1212,18 @@ mod tests {
     #[test]
     fn driver_assembles() {
         let m = assemble("e1000", &source()).expect("driver source must assemble");
-        assert!(m.text.len() > 300, "driver has {} instructions", m.text.len());
+        assert!(
+            m.text.len() > 300,
+            "driver has {} instructions",
+            m.text.len()
+        );
         for f in [
             "e1000_probe",
             "e1000_open",
             "e1000_xmit_frame",
+            "e1000_xmit_fill",
+            "e1000_xmit_batch",
+            "e1000_poll_rx_batch",
             "e1000_intr",
             "e1000_clean_rx",
             "e1000_clean_tx",

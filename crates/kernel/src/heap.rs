@@ -160,7 +160,11 @@ mod tests {
         let (mut m, mut h) = mk();
         for _ in 0..100 {
             let a = h.kmalloc(&mut m, 2048).unwrap();
-            assert_eq!(a / PAGE_SIZE, (a + 2047) / PAGE_SIZE, "no straddle at {a:#x}");
+            assert_eq!(
+                a / PAGE_SIZE,
+                (a + 2047) / PAGE_SIZE,
+                "no straddle at {a:#x}"
+            );
         }
     }
 
@@ -170,7 +174,8 @@ mod tests {
         let (v, p) = h.dma_alloc_coherent(&mut m, 4096).unwrap();
         assert_eq!(v % PAGE_SIZE, 0);
         // Physical address corresponds: writing via virtual shows up at phys.
-        m.write_u32(h.space(), ExecMode::Guest, v + 8, 0x55aa).unwrap();
+        m.write_u32(h.space(), ExecMode::Guest, v + 8, 0x55aa)
+            .unwrap();
         assert_eq!(m.phys.read_u32(p + 8), 0x55aa);
     }
 

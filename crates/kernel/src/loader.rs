@@ -6,8 +6,8 @@
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use twin_machine::{ExecMode, Fault, ImageId, LinkError, Machine, SpaceId, PAGE_SIZE};
 use twin_isa::{Module, INSN_SIZE};
+use twin_machine::{ExecMode, Fault, ImageId, LinkError, Machine, SpaceId, PAGE_SIZE};
 
 /// Error from driver loading.
 #[derive(Debug)]

@@ -137,13 +137,23 @@ impl SkBuff {
     ) -> Result<(), Fault> {
         let data = self.data(m, s)?;
         for (i, b) in frame.wire_prefix().iter().enumerate() {
-            m.write_virt(s, ExecMode::Guest, data + i as u64, twin_isa::Width::Byte, *b as u32)?;
+            m.write_virt(
+                s,
+                ExecMode::Guest,
+                data + i as u64,
+                twin_isa::Width::Byte,
+                *b as u32,
+            )?;
         }
         self.set_len(m, s, frame.len())
     }
 
     /// Parses the frame stored in the data buffer.
-    pub fn parse_frame(self, m: &Machine, s: twin_machine::SpaceId) -> Result<Option<Frame>, Fault> {
+    pub fn parse_frame(
+        self,
+        m: &Machine,
+        s: twin_machine::SpaceId,
+    ) -> Result<Option<Frame>, Fault> {
         let data = self.data(m, s)?;
         let len = self.len(m, s)?;
         let mut prefix = [0u8; 26];

@@ -115,6 +115,9 @@ pub struct Dom0Kernel {
     pub queue_stopped: bool,
     /// Registered net devices (addresses of netdev structs).
     pub registered_netdevs: Vec<u64>,
+    /// Packets `netif_rx` has pushed into the stack since the current
+    /// receive burst began (see [`Dom0Kernel::begin_stack_burst`]).
+    stack_burst: u64,
     alloc_sizes: BTreeMap<u64, u64>,
 }
 
@@ -142,8 +145,20 @@ impl Dom0Kernel {
             printk_count: 0,
             queue_stopped: false,
             registered_netdevs: Vec::new(),
+            stack_burst: 0,
             alloc_sizes: BTreeMap::new(),
         })
+    }
+
+    /// Marks the start of one coalesced receive burst: the next
+    /// `netif_rx` pays the full per-wakeup stack cost
+    /// ([`twin_machine::CostParams::tcp_rx_per_packet`]); packets after
+    /// it in the same burst pay only the GRO/NAPI-style marginal cost
+    /// (`tcp_rx_batch_marginal`). The interrupt dispatcher calls this
+    /// once per hardware interrupt, so per-packet delivery (a burst of
+    /// one) is costed exactly as before.
+    pub fn begin_stack_burst(&mut self) {
+        self.stack_burst = 0;
     }
 
     /// Creates the hypervisor-reserved pool (paper §4.3).
@@ -223,9 +238,14 @@ impl Dom0Kernel {
             }
             "netif_rx" => {
                 let c = match self.rx_mode {
-                    RxMode::LocalStack => m.cost.tcp_rx_per_packet,
+                    // Bridging is a per-packet lookup either way; the
+                    // local stack amortises its per-wakeup work across a
+                    // coalesced burst.
                     RxMode::Bridge => m.cost.bridge_per_packet,
+                    RxMode::LocalStack if self.stack_burst == 0 => m.cost.tcp_rx_per_packet,
+                    RxMode::LocalStack => m.cost.tcp_rx_batch_marginal,
                 };
+                self.stack_burst += 1;
                 m.meter.charge(c);
                 let skb = SkBuff(cpu.arg(m, 0)? as u64);
                 if skb.0 != 0 {
@@ -301,8 +321,18 @@ impl Dom0Kernel {
                 m.meter.charge(c);
                 let skb = SkBuff(cpu.arg(m, 0)? as u64);
                 let data = skb.data(m, self.space)?;
-                let hi = m.read_virt(self.space, ExecMode::Guest, data + 12, twin_isa::Width::Byte)?;
-                let lo = m.read_virt(self.space, ExecMode::Guest, data + 13, twin_isa::Width::Byte)?;
+                let hi = m.read_virt(
+                    self.space,
+                    ExecMode::Guest,
+                    data + 12,
+                    twin_isa::Width::Byte,
+                )?;
+                let lo = m.read_virt(
+                    self.space,
+                    ExecMode::Guest,
+                    data + 13,
+                    twin_isa::Width::Byte,
+                )?;
                 let proto = (hi << 8) | lo;
                 skb.set_protocol(m, self.space, proto)?;
                 ret(cpu, proto);
@@ -419,8 +449,19 @@ impl Dom0Kernel {
                 let src = cpu.arg(m, 1)? as u64;
                 if dst != 0 && src != 0 {
                     for i in 0..64 {
-                        let b = m.read_virt(self.space, ExecMode::Guest, src + i, twin_isa::Width::Byte)?;
-                        m.write_virt(self.space, ExecMode::Guest, dst + i, twin_isa::Width::Byte, b)?;
+                        let b = m.read_virt(
+                            self.space,
+                            ExecMode::Guest,
+                            src + i,
+                            twin_isa::Width::Byte,
+                        )?;
+                        m.write_virt(
+                            self.space,
+                            ExecMode::Guest,
+                            dst + i,
+                            twin_isa::Width::Byte,
+                            b,
+                        )?;
                         if b == 0 {
                             break;
                         }

@@ -147,6 +147,18 @@ pub struct CostParams {
     pub twin_glue_rx: u64,
     /// Guest-side paravirtual driver cost per packet (TwinDrivers path).
     pub pv_driver_guest: u64,
+    /// Transmit-stack cost for the second and later packets of one burst
+    /// handed to the stack together (TSO/GSO-style aggregation: socket
+    /// wakeups, queue-discipline entry and route lookups amortise across
+    /// the burst; the first packet of a burst still pays
+    /// [`CostParams::tcp_tx_per_packet`]).
+    pub tcp_tx_batch_marginal: u64,
+    /// Receive-stack cost for the second and later packets of one burst
+    /// delivered from a single coalesced interrupt (GRO/NAPI-style
+    /// aggregation: softirq entry, per-wakeup scheduling and socket
+    /// bookkeeping amortise; the first packet still pays
+    /// [`CostParams::tcp_rx_per_packet`]).
+    pub tcp_rx_batch_marginal: u64,
 }
 
 impl Default for CostParams {
@@ -191,6 +203,8 @@ impl Default for CostParams {
             twin_glue_tx: 1400,
             twin_glue_rx: 600,
             pv_driver_guest: 250,
+            tcp_tx_batch_marginal: 1900,
+            tcp_rx_batch_marginal: 4300,
         }
     }
 }

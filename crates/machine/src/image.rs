@@ -253,14 +253,19 @@ mod tests {
         assert_eq!(img.export("g"), Some(0x1000 + 3 * INSN_SIZE));
         // movl counter -> absolute disp
         match &img.insns[0] {
-            Insn::Mov { src: Operand::Mem(mem), .. } => {
+            Insn::Mov {
+                src: Operand::Mem(mem),
+                ..
+            } => {
                 assert_eq!(mem.disp, 0x2000_0000);
                 assert!(mem.sym.is_none());
             }
             other => panic!("unexpected {other:?}"),
         }
         match &img.insns[1] {
-            Insn::Call { target: Target::Abs(a) } => assert_eq!(*a, 0x1000 + 3 * INSN_SIZE),
+            Insn::Call {
+                target: Target::Abs(a),
+            } => assert_eq!(*a, 0x1000 + 3 * INSN_SIZE),
             other => panic!("unexpected {other:?}"),
         }
     }

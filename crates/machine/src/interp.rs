@@ -75,7 +75,11 @@ impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Fault::PageFault { addr, write } => {
-                write!(f, "page fault at {addr:#x} ({})", if *write { "write" } else { "read" })
+                write!(
+                    f,
+                    "page fault at {addr:#x} ({})",
+                    if *write { "write" } else { "read" }
+                )
             }
             Fault::ProtFault { addr } => write!(f, "protection fault at {addr:#x}"),
             Fault::MmioAccess { addr } => write!(f, "raw access to mmio page at {addr:#x}"),
@@ -240,13 +244,8 @@ pub trait Env {
     /// # Errors
     ///
     /// Device-specific faults.
-    fn mmio_read(
-        &mut self,
-        m: &mut Machine,
-        dev: u32,
-        offset: u64,
-        w: Width,
-    ) -> Result<u32, Fault>;
+    fn mmio_read(&mut self, m: &mut Machine, dev: u32, offset: u64, w: Width)
+        -> Result<u32, Fault>;
 
     /// MMIO store to device `dev`.
     ///
@@ -272,7 +271,13 @@ impl Env for NullEnv {
     fn extern_call(&mut self, name: &str, _m: &mut Machine, _cpu: &mut Cpu) -> Result<(), Fault> {
         Err(Fault::UnknownExtern(name.to_string()))
     }
-    fn mmio_read(&mut self, _m: &mut Machine, _dev: u32, offset: u64, _w: Width) -> Result<u32, Fault> {
+    fn mmio_read(
+        &mut self,
+        _m: &mut Machine,
+        _dev: u32,
+        offset: u64,
+        _w: Width,
+    ) -> Result<u32, Fault> {
         Err(Fault::MmioAccess { addr: offset })
     }
     fn mmio_write(
@@ -377,7 +382,9 @@ fn write_operand(
             Ok(())
         }
         Operand::Mem(mem) => write_mem(m, cpu, env, ea(cpu, mem), w, val),
-        other => Err(Fault::EnvFault(format!("write to non-lvalue operand `{other:?}`"))),
+        other => Err(Fault::EnvFault(format!(
+            "write to non-lvalue operand `{other:?}`"
+        ))),
     }
 }
 
@@ -841,7 +848,10 @@ mod tests {
         );
         call(&mut m, &mut cpu, f, &[0x2000_0100]);
         assert_eq!(cpu.reg(Reg::Eax), 78);
-        assert_eq!(m.read_u32(cpu.space, ExecMode::Guest, 0x2000_0100).unwrap(), 77);
+        assert_eq!(
+            m.read_u32(cpu.space, ExecMode::Guest, 0x2000_0100).unwrap(),
+            77
+        );
     }
 
     #[test]
@@ -880,13 +890,19 @@ mod tests {
         "#,
         );
         for i in 0..16u32 {
-            m.write_u32(cpu.space, ExecMode::Guest, 0x2000_0000 + 4 * i as u64, i * 3)
-                .unwrap();
+            m.write_u32(
+                cpu.space,
+                ExecMode::Guest,
+                0x2000_0000 + 4 * i as u64,
+                i * 3,
+            )
+            .unwrap();
         }
         call(&mut m, &mut cpu, f, &[]);
         for i in 0..16u32 {
             assert_eq!(
-                m.read_u32(cpu.space, ExecMode::Guest, 0x2000_0400 + 4 * i as u64).unwrap(),
+                m.read_u32(cpu.space, ExecMode::Guest, 0x2000_0400 + 4 * i as u64)
+                    .unwrap(),
                 i * 3
             );
         }
@@ -955,17 +971,35 @@ mod tests {
     fn extern_dispatch() {
         struct AddEnv;
         impl Env for AddEnv {
-            fn extern_call(&mut self, name: &str, m: &mut Machine, cpu: &mut Cpu) -> Result<(), Fault> {
+            fn extern_call(
+                &mut self,
+                name: &str,
+                m: &mut Machine,
+                cpu: &mut Cpu,
+            ) -> Result<(), Fault> {
                 assert_eq!(name, "add2");
                 let a = cpu.arg(m, 0)?;
                 let b = cpu.arg(m, 1)?;
                 cpu.set_reg(Reg::Eax, a + b);
                 Ok(())
             }
-            fn mmio_read(&mut self, _: &mut Machine, _: u32, a: u64, _: Width) -> Result<u32, Fault> {
+            fn mmio_read(
+                &mut self,
+                _: &mut Machine,
+                _: u32,
+                a: u64,
+                _: Width,
+            ) -> Result<u32, Fault> {
                 Err(Fault::MmioAccess { addr: a })
             }
-            fn mmio_write(&mut self, _: &mut Machine, _: u32, a: u64, _: Width, _: u32) -> Result<(), Fault> {
+            fn mmio_write(
+                &mut self,
+                _: &mut Machine,
+                _: u32,
+                a: u64,
+                _: Width,
+                _: u32,
+            ) -> Result<(), Fault> {
                 Err(Fault::MmioAccess { addr: a })
             }
         }
@@ -1041,12 +1075,18 @@ mod tests {
         let (mut m, mut cpu, f) = setup(".text\n.globl f\nf:\n int3\n");
         cpu.push_call_frame(&mut m, &[]).unwrap();
         cpu.pc = f;
-        assert!(matches!(run(&mut m, &mut cpu, &mut NullEnv, 10), Err(Fault::Breakpoint)));
+        assert!(matches!(
+            run(&mut m, &mut cpu, &mut NullEnv, 10),
+            Err(Fault::Breakpoint)
+        ));
 
         let (mut m, mut cpu, f) = setup(".text\n.globl f\nf:\n ud2\n");
         cpu.push_call_frame(&mut m, &[]).unwrap();
         cpu.pc = f;
-        assert!(matches!(run(&mut m, &mut cpu, &mut NullEnv, 10), Err(Fault::BadInstruction)));
+        assert!(matches!(
+            run(&mut m, &mut cpu, &mut NullEnv, 10),
+            Err(Fault::BadInstruction)
+        ));
     }
 
     #[test]

@@ -261,7 +261,8 @@ impl Machine {
     pub fn map_hyper_fresh(&mut self, base: u64, pages: u64) -> Result<(), Fault> {
         for i in 0..pages {
             let pfn = self.phys.alloc_frame().ok_or(Fault::OutOfMemory)?;
-            self.hyper.map(base + i * PAGE_SIZE, PageEntry::ram(pfn, true));
+            self.hyper
+                .map(base + i * PAGE_SIZE, PageEntry::ram(pfn, true));
         }
         Ok(())
     }
@@ -344,8 +345,10 @@ impl Machine {
                 PageKind::Ram => t.entry.pfn,
                 PageKind::Mmio(_) => return Err(Fault::MmioAccess { addr }),
             };
-            self.phys
-                .write_u8(pfn * PAGE_SIZE + (addr + i) % PAGE_SIZE, (val >> (8 * i)) as u8);
+            self.phys.write_u8(
+                pfn * PAGE_SIZE + (addr + i) % PAGE_SIZE,
+                (val >> (8 * i)) as u8,
+            );
         }
         Ok(())
     }
@@ -405,11 +408,19 @@ mod tests {
         let mut m = Machine::new();
         let s = m.new_space();
         m.map_fresh(s, 0x2000_0000, 2).unwrap();
-        m.write_u32(s, ExecMode::Guest, 0x2000_0ffc, 0xdead_beef).unwrap();
-        assert_eq!(m.read_u32(s, ExecMode::Guest, 0x2000_0ffc).unwrap(), 0xdead_beef);
+        m.write_u32(s, ExecMode::Guest, 0x2000_0ffc, 0xdead_beef)
+            .unwrap();
+        assert_eq!(
+            m.read_u32(s, ExecMode::Guest, 0x2000_0ffc).unwrap(),
+            0xdead_beef
+        );
         // Cross-page unaligned access works.
-        m.write_u32(s, ExecMode::Guest, 0x2000_0ffe, 0x1234_5678).unwrap();
-        assert_eq!(m.read_u32(s, ExecMode::Guest, 0x2000_0ffe).unwrap(), 0x1234_5678);
+        m.write_u32(s, ExecMode::Guest, 0x2000_0ffe, 0x1234_5678)
+            .unwrap();
+        assert_eq!(
+            m.read_u32(s, ExecMode::Guest, 0x2000_0ffe).unwrap(),
+            0x1234_5678
+        );
     }
 
     #[test]
@@ -460,7 +471,9 @@ mod tests {
         let s = m.new_space();
         let pfn = m.phys.alloc_frame().unwrap();
         m.space_mut(s).map(0x2000_0000, PageEntry::ram(pfn, false));
-        assert!(m.read_virt(s, ExecMode::Guest, 0x2000_0000, Width::Byte).is_ok());
+        assert!(m
+            .read_virt(s, ExecMode::Guest, 0x2000_0000, Width::Byte)
+            .is_ok());
         let e = m
             .write_virt(s, ExecMode::Guest, 0x2000_0000, Width::Byte, 1)
             .unwrap_err();
@@ -484,6 +497,10 @@ mod tests {
             8,
         )
         .unwrap();
-        assert_eq!(m.read_virt(b, ExecMode::Guest, 0x2000_000f, Width::Byte).unwrap(), 7);
+        assert_eq!(
+            m.read_virt(b, ExecMode::Guest, 0x2000_000f, Width::Byte)
+                .unwrap(),
+            7
+        );
     }
 }

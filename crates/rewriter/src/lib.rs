@@ -40,8 +40,8 @@ pub use rewrite::{
 mod tests {
     use super::*;
     use twin_isa::asm::assemble;
-    use twin_isa::{Insn, Module, Reg, INSN_SIZE};
     use twin_isa::Width;
+    use twin_isa::{Insn, Module, Reg, INSN_SIZE};
     use twin_machine::{
         run, Cpu, Env, ExecMode, Fault, Machine, SpaceId, StopReason, HYPER_BASE, PAGE_SIZE,
     };
@@ -96,8 +96,14 @@ mod tests {
         let pages = (module.data.bytes.len() as u64).div_ceil(PAGE_SIZE).max(1);
         m.map_fresh(dom0, DOM0_DATA, pages + 4).unwrap();
         for (i, b) in module.data.bytes.iter().enumerate() {
-            m.write_virt(dom0, ExecMode::Guest, DOM0_DATA + i as u64, Width::Byte, *b as u32)
-                .unwrap();
+            m.write_virt(
+                dom0,
+                ExecMode::Guest,
+                DOM0_DATA + i as u64,
+                Width::Byte,
+                *b as u32,
+            )
+            .unwrap();
         }
         for r in &module.data.relocs {
             let addr = if let Some(off) = module.data.symbols.get(&r.symbol) {
@@ -326,8 +332,7 @@ mod tests {
             movl (%ebx), %eax
             ret
         "#;
-        let (_m, _s, r, _stats, _svm) =
-            run_rewritten(src, "evil", &[], &RewriteOptions::default());
+        let (_m, _s, r, _stats, _svm) = run_rewritten(src, "evil", &[], &RewriteOptions::default());
         assert!(r.is_err());
     }
 

@@ -332,9 +332,7 @@ fn pick_scratch(insn: &Insn, live_out: RegSet, blocked_extra: RegSet) -> Scratch
 fn substitute_mem(insn: &Insn, out: Reg) -> Insn {
     let rep = |op: &Operand| -> Operand {
         match op {
-            Operand::Mem(m) if !m.is_stack_relative() => {
-                Operand::Mem(MemRef::base_disp(out, 0))
-            }
+            Operand::Mem(m) if !m.is_stack_relative() => Operand::Mem(MemRef::base_disp(out, 0)),
             other => other.clone(),
         }
     };
@@ -644,13 +642,7 @@ fn emit_indirect(
             } else {
                 stats.mem_sites += 1;
                 // Translate the pointer location via SVM, then load it.
-                emit_fastpath(
-                    em,
-                    AddrExpr::Mem(m.clone()),
-                    Reg::Ecx,
-                    Reg::Edx,
-                    Reg::Eax,
-                );
+                emit_fastpath(em, AddrExpr::Mem(m.clone()), Reg::Ecx, Reg::Edx, Reg::Eax);
                 em.emit(mov(Reg::Eax, Operand::Mem(MemRef::base_disp(Reg::Eax, 0))));
             }
         }

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access, so this in-tree shim
+//! provides the API subset the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a simple calibrated
+//! wall-clock loop (warm-up, then enough iterations to cover ~100 ms)
+//! reporting mean time per iteration; there is no statistics engine, no
+//! HTML report and no saved baselines. Swap the workspace dependency back
+//! to the real crate when a registry is available — no source changes are
+//! needed.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Runs one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last [`Bencher::iter`].
+    pub last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`: warm-up, then as many iterations as fit the budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and single-shot calibration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(100);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_ns_per_iter = t1.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn print_result(name: &str, ns: f64) {
+    if ns >= 1e9 {
+        println!("{name:<40} {:>10.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{name:<40} {:>10.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<40} {:>10.3} us/iter", ns / 1e3);
+    } else {
+        println!("{name:<40} {:>10.0} ns/iter", ns);
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        print_result(name, b.last_ns_per_iter);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            group: name.to_string(),
+        }
+    }
+
+    /// Accepted for API compatibility; the shim ignores sample sizing.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self._sample_size = n;
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample sizing.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        print_result(&format!("{}/{}", self.group, name), b.last_ns_per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a set of benchmark functions, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.last_ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("x", |b| {
+                ran += 1;
+                b.iter(|| 1 + 1)
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+}

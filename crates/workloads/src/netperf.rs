@@ -90,7 +90,10 @@ mod tests {
         let twin = run_netperf(Config::TwinDrivers, Direction::Transmit, 60).unwrap();
         let domu = run_netperf(Config::XenGuest, Direction::Transmit, 60).unwrap();
         assert!(linux.throughput.mbps >= 4600.0);
-        assert!(twin.throughput.mbps / domu.throughput.mbps > 2.0, "2.4x in the paper");
+        assert!(
+            twin.throughput.mbps / domu.throughput.mbps > 2.0,
+            "2.4x in the paper"
+        );
         assert!(twin.throughput.mbps < linux.throughput.mbps);
         assert!(
             twin.throughput.mbps / linux.throughput.mbps > 0.55,
@@ -104,9 +107,15 @@ mod tests {
         let linux = run_netperf(Config::NativeLinux, Direction::Receive, 60).unwrap();
         let twin = run_netperf(Config::TwinDrivers, Direction::Receive, 60).unwrap();
         let domu = run_netperf(Config::XenGuest, Direction::Receive, 60).unwrap();
-        assert!(twin.throughput.mbps / domu.throughput.mbps > 1.7, "2.1x in the paper");
+        assert!(
+            twin.throughput.mbps / domu.throughput.mbps > 1.7,
+            "2.1x in the paper"
+        );
         assert!(twin.throughput.mbps < linux.throughput.mbps);
-        assert!(linux.throughput.cpu_util == 1.0, "receive is CPU-bound everywhere");
+        assert!(
+            linux.throughput.cpu_util == 1.0,
+            "receive is CPU-bound everywhere"
+        );
     }
 
     #[test]

@@ -7,8 +7,33 @@
 //! 0.1–0.9 KB, 1–9 KB, 10–90 KB and 100–900 KB respectively, accessed
 //! uniformly within a class. The mean transfer is ≈ 14.7 KB.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+/// Small deterministic generator (xorshift64*) so the sampler needs no
+/// external dependency; experiments stay reproducible per seed.
+#[derive(Clone, Debug)]
+struct SampleRng(u64);
+
+impl SampleRng {
+    fn seed_from_u64(seed: u64) -> SampleRng {
+        // SplitMix64 scramble so nearby seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        SampleRng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn gen_range(&mut self, range: std::ops::Range<u32>) -> u32 {
+        range.start + (self.next_u64() % (range.end - range.start) as u64) as u32
+    }
+}
 
 /// Expected mean file size of the distribution, in bytes
 /// (0.35·0.5 KB + 0.50·5 KB + 0.14·50 KB + 0.01·500 KB = 14.675 KB).
@@ -24,7 +49,7 @@ pub const CLASS_BASE_BYTES: [u64; 4] = [100, 1_000, 10_000, 100_000];
 #[derive(Debug)]
 pub struct FileSet {
     files: Vec<u64>, // 36 file sizes, indexed class*9 + (i-1)
-    rng: StdRng,
+    rng: SampleRng,
 }
 
 impl FileSet {
@@ -32,14 +57,14 @@ impl FileSet {
     /// (deterministic experiments).
     pub fn new(seed: u64) -> FileSet {
         let mut files = Vec::with_capacity(36);
-        for class in 0..4 {
+        for base in CLASS_BASE_BYTES {
             for i in 1..=9u64 {
-                files.push(CLASS_BASE_BYTES[class] * i);
+                files.push(base * i);
             }
         }
         FileSet {
             files,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SampleRng::seed_from_u64(seed),
         }
     }
 
@@ -66,7 +91,7 @@ impl FileSet {
         } else {
             3
         };
-        let i = self.rng.gen_range(0..9);
+        let i = self.rng.gen_range(0..9) as usize;
         self.files[class * 9 + i]
     }
 

@@ -61,7 +61,11 @@ impl WebServerModel {
     /// # Errors
     ///
     /// Propagates system build/measurement errors.
-    pub fn measure(config: Config, packets: u64, fileset_seed: u64) -> Result<WebServerModel, SystemError> {
+    pub fn measure(
+        config: Config,
+        packets: u64,
+        fileset_seed: u64,
+    ) -> Result<WebServerModel, SystemError> {
         let tx = run_netperf(config, Direction::Transmit, packets)?;
         let rx = run_netperf(config, Direction::Receive, packets)?;
         let mut fs = FileSet::new(fileset_seed);
@@ -83,8 +87,7 @@ impl WebServerModel {
         let data_pkts = (mean_bytes / MSS).ceil() + 1.0; // + HTTP headers
         let tx_pkts = data_pkts + 3.0;
         let rx_pkts = 2.0 + (data_pkts / 2.0).ceil() + 2.0;
-        let cycles_per_request =
-            SERVER_BASE_CYCLES + tx_pkts * tx_cpp + rx_pkts * rx_cpp;
+        let cycles_per_request = SERVER_BASE_CYCLES + tx_pkts * tx_cpp + rx_pkts * rx_cpp;
         WebServerModel {
             config,
             tx_cpp,

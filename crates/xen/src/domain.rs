@@ -75,7 +75,12 @@ mod tests {
 
     #[test]
     fn new_domain_defaults() {
-        let d = Domain::new(DomId(1), SpaceId(1), DomainKind::Guest, MacAddr::for_guest(1));
+        let d = Domain::new(
+            DomId(1),
+            SpaceId(1),
+            DomainKind::Guest,
+            MacAddr::for_guest(1),
+        );
         assert!(d.virq_enabled);
         assert!(d.pending_virqs.is_empty());
         assert!(d.rx_queue.is_empty());

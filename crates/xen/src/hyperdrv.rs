@@ -58,6 +58,20 @@ impl HypervisorDriver {
         self.entries.get(name).copied()
     }
 
+    /// The burst transmit entry point (`e1000_xmit_batch`): one
+    /// hypervisor-driver invocation places a whole burst of frames with a
+    /// single TX-lock acquisition and a single `TDT` doorbell.
+    pub fn xmit_batch_entry(&self) -> Option<u64> {
+        self.entry("e1000_xmit_batch")
+    }
+
+    /// The polled receive entry point (`e1000_poll_rx_batch`): reaps
+    /// every filled RX descriptor in one pass without an `ICR` read, for
+    /// use under the hypervisor's coalesced softirq.
+    pub fn poll_rx_batch_entry(&self) -> Option<u64> {
+        self.entry("e1000_poll_rx_batch")
+    }
+
     /// Code range `(base, end)` for call-translation validation.
     pub fn code_range(&self) -> (u64, u64) {
         (
@@ -160,7 +174,8 @@ mod tests {
             (n == twin_svm::STLB_SYMBOL).then_some(0x2900_0000)
         })
         .unwrap();
-        let hyp = load_hypervisor_driver(&mut m, &rw.module, &vm, twin_svm::STLB_HYPER_BASE).unwrap();
+        let hyp =
+            load_hypervisor_driver(&mut m, &rw.module, &vm, twin_svm::STLB_HYPER_BASE).unwrap();
         assert_eq!(hyp.code_base, HYP_CODE_BASE);
         assert!(hyp.entry("get").is_some());
         // Constant offset between the two instances' entry points.

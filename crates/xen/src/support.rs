@@ -173,10 +173,7 @@ impl HyperSupport {
                 let c = m.cost.skb_alloc;
                 m.meter.charge(c);
                 svm.charge_fast_path(m);
-                let skb = kernel
-                    .hyper_pool
-                    .as_mut()
-                    .and_then(|p| p.alloc(m, dom0));
+                let skb = kernel.hyper_pool.as_mut().and_then(|p| p.alloc(m, dom0));
                 cpu.set_reg(Reg::Eax, skb.map(|s| s.0 as u32).unwrap_or(0));
             }
             "dev_kfree_skb_any" => {
@@ -317,16 +314,31 @@ mod tests {
     #[test]
     fn alloc_comes_from_reserved_pool() {
         let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup();
-        let skb =
-            call(&mut hs, "netdev_alloc_skb", &mut m, &mut kernel, &mut xen, &mut svm, &[0, 2048])
-                .unwrap();
+        let skb = call(
+            &mut hs,
+            "netdev_alloc_skb",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[0, 2048],
+        )
+        .unwrap();
         assert_ne!(skb, 0);
         let flags = SkBuff(skb as u64).pool_flags(&m, kernel.space).unwrap();
         assert_eq!(flags & 1, 1, "reserved-pool buffer");
         assert_eq!(kernel.hyper_pool.as_ref().unwrap().available(), 31);
         // Freeing routes back to the reserved pool, not dom0's.
-        call(&mut hs, "dev_kfree_skb_any", &mut m, &mut kernel, &mut xen, &mut svm, &[skb])
-            .unwrap();
+        call(
+            &mut hs,
+            "dev_kfree_skb_any",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[skb],
+        )
+        .unwrap();
         assert_eq!(kernel.hyper_pool.as_ref().unwrap().available(), 32);
         assert_eq!(kernel.pool.available(), 32);
     }
@@ -337,22 +349,48 @@ mod tests {
         let gspace = m.new_space();
         let gid = xen.add_guest(gspace, MacAddr::for_guest(5));
         // Build an skb holding a frame for guest 5.
-        let skb = kernel.hyper_pool.as_mut().unwrap().alloc(&mut m, kernel.space).unwrap();
+        let skb = kernel
+            .hyper_pool
+            .as_mut()
+            .unwrap()
+            .alloc(&mut m, kernel.space)
+            .unwrap();
         let f = Frame::data(MacAddr::for_guest(5), MacAddr::for_guest(9), 2, 7);
         skb.fill_from_frame(&mut m, kernel.space, &f).unwrap();
-        call(&mut hs, "netif_rx", &mut m, &mut kernel, &mut xen, &mut svm, &[skb.0 as u32])
-            .unwrap();
+        call(
+            &mut hs,
+            "netif_rx",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[skb.0 as u32],
+        )
+        .unwrap();
         assert_eq!(xen.domain(gid).rx_queue.len(), 1);
         assert_eq!(xen.domain(gid).rx_queue[0].seq, 7);
         // skb returned to the pool.
         assert_eq!(kernel.hyper_pool.as_ref().unwrap().available(), 32);
 
         // Unknown MAC: dropped and counted.
-        let skb = kernel.hyper_pool.as_mut().unwrap().alloc(&mut m, kernel.space).unwrap();
+        let skb = kernel
+            .hyper_pool
+            .as_mut()
+            .unwrap()
+            .alloc(&mut m, kernel.space)
+            .unwrap();
         let f = Frame::data(MacAddr::for_guest(77), MacAddr::for_guest(9), 2, 8);
         skb.fill_from_frame(&mut m, kernel.space, &f).unwrap();
-        call(&mut hs, "netif_rx", &mut m, &mut kernel, &mut xen, &mut svm, &[skb.0 as u32])
-            .unwrap();
+        call(
+            &mut hs,
+            "netif_rx",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[skb.0 as u32],
+        )
+        .unwrap();
         assert_eq!(hs.demux_misses, 1);
     }
 
@@ -397,8 +435,16 @@ mod tests {
         let before = xen.switches;
         let lock = 0x3e00_0000;
         m.map_fresh(kernel.space, lock, 1).unwrap();
-        call(&mut hs, "spin_trylock", &mut m, &mut kernel, &mut xen, &mut svm, &[lock as u32])
-            .unwrap();
+        call(
+            &mut hs,
+            "spin_trylock",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[lock as u32],
+        )
+        .unwrap();
         assert_eq!(xen.switches, before, "already in dom0: no switches");
         assert_eq!(hs.upcalls, 1);
     }
@@ -416,7 +462,16 @@ mod tests {
         let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup();
         // `kmalloc` is not a fast-path routine: hypervisor has no native
         // implementation, so it must upcall.
-        let r = call(&mut hs, "kmalloc", &mut m, &mut kernel, &mut xen, &mut svm, &[128]).unwrap();
+        let r = call(
+            &mut hs,
+            "kmalloc",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[128],
+        )
+        .unwrap();
         assert_ne!(r, 0, "allocation served by dom0 through the upcall");
         assert_eq!(hs.upcalls, 1);
     }
@@ -424,8 +479,16 @@ mod tests {
     #[test]
     fn truly_unknown_externs_are_rejected() {
         let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup();
-        let e = call(&mut hs, "no_such_fn", &mut m, &mut kernel, &mut xen, &mut svm, &[])
-            .unwrap_err();
+        let e = call(
+            &mut hs,
+            "no_such_fn",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[],
+        )
+        .unwrap_err();
         assert!(matches!(e, Fault::UnknownExtern(_)));
     }
 

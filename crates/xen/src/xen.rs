@@ -37,6 +37,8 @@ pub struct Xen {
     pub grants: GrantStats,
     /// Pending softirq work.
     pub softirqs: Vec<Softirq>,
+    /// Softirq raises coalesced into already-pending work.
+    pub softirqs_coalesced: u64,
     /// Total domain switches performed.
     pub switches: u64,
     /// Total hypercalls serviced.
@@ -58,6 +60,7 @@ impl Xen {
             current: DomId::DOM0,
             grants: GrantStats::default(),
             softirqs: Vec::new(),
+            softirqs_coalesced: 0,
             switches: 0,
             hypercalls: 0,
             virqs_sent: 0,
@@ -148,7 +151,16 @@ impl Xen {
 
     /// Queues softirq work (driver interrupt deferred out of hard-irq
     /// context so dom0's virtual interrupt flag is respected, §4.4).
+    ///
+    /// Identical pending work is **coalesced**: raising `DriverIrq` for a
+    /// NIC that already has one queued is a no-op, exactly like a level
+    /// interrupt latched while its softirq is still pending — one handler
+    /// pass will reap every descriptor the hardware filled meanwhile.
     pub fn raise_softirq(&mut self, work: Softirq) {
+        if self.softirqs.contains(&work) {
+            self.softirqs_coalesced += 1;
+            return;
+        }
         self.softirqs.push(work);
     }
 
@@ -191,7 +203,11 @@ mod tests {
         let g = m.new_space();
         let gid = xen.add_guest(g, MacAddr::for_guest(7));
         assert_eq!(xen.guest_by_mac(MacAddr::for_guest(7)), Some(gid));
-        assert_eq!(xen.guest_by_mac(MacAddr::for_guest(0)), None, "dom0 is not a guest");
+        assert_eq!(
+            xen.guest_by_mac(MacAddr::for_guest(0)),
+            None,
+            "dom0 is not a guest"
+        );
         assert_eq!(xen.guest_by_mac(MacAddr::for_guest(99)), None);
     }
 
@@ -212,6 +228,17 @@ mod tests {
         xen.domain_mut(DomId::DOM0).virq_enabled = true;
         assert_eq!(xen.take_runnable_softirqs().len(), 1);
         assert!(xen.softirqs.is_empty());
+    }
+
+    #[test]
+    fn softirqs_coalesce_duplicate_driver_irqs() {
+        let (_m, mut xen) = mk();
+        xen.raise_softirq(Softirq::DriverIrq { nic: 0 });
+        xen.raise_softirq(Softirq::DriverIrq { nic: 0 });
+        xen.raise_softirq(Softirq::DriverIrq { nic: 0 });
+        assert_eq!(xen.softirqs.len(), 1, "one pending pass covers all");
+        assert_eq!(xen.softirqs_coalesced, 2);
+        assert_eq!(xen.take_runnable_softirqs().len(), 1);
     }
 
     #[test]

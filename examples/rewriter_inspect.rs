@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== rewrite statistics ==");
     let s = out.stats;
-    println!("  instructions        : {} -> {}", s.insns_before, s.insns_after);
+    println!(
+        "  instructions        : {} -> {}",
+        s.insns_before, s.insns_after
+    );
     println!("  expansion factor    : {:.2}x", s.expansion_factor());
     println!(
         "  memory fraction     : {:.1}%  (paper: ~25%)",
@@ -61,6 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:4}  {insn}", r2.start + i);
     }
     println!();
-    println!("(note the Figure 4 sequence: leal/movl/andl/movl/andl/shrl/cmpl stlb/jne/xorl stlb+4)");
+    println!(
+        "(note the Figure 4 sequence: leal/movl/andl/movl/andl/shrl/cmpl stlb/jne/xorl stlb+4)"
+    );
     Ok(())
 }

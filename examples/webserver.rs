@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     let rates: Vec<f64> = (1..=16).map(|i| i as f64 * 1000.0).collect();
-    println!("{:>8}  {:>10} {:>10} {:>10} {:>10}", "reqs/s", "Linux", "dom0", "twin", "domU");
+    println!(
+        "{:>8}  {:>10} {:>10} {:>10} {:>10}",
+        "reqs/s", "Linux", "dom0", "twin", "domU"
+    );
     let mut series = Vec::new();
     for config in [
         Config::NativeLinux,

@@ -69,7 +69,11 @@ fn upcalls() -> Result<(), Box<dyn std::error::Error>> {
         let mut sys = System::build_with(Config::TwinDrivers, &opts)?;
         let b = sys.measure_tx(PACKETS)?;
         let t = throughput(b.total(), TESTBED_NICS);
-        println!("  {n} upcalls: {:>5.0} Mb/s ({:.0} cycles/packet)", t.mbps, b.total());
+        println!(
+            "  {n} upcalls: {:>5.0} Mb/s ({:.0} cycles/packet)",
+            t.mbps,
+            b.total()
+        );
     }
     Ok(())
 }
@@ -95,8 +99,17 @@ fn rewrite_stats() -> Result<(), Box<dyn std::error::Error>> {
     let sys = System::build(Config::TwinDrivers)?;
     let s = sys.rewrite_stats.expect("stats");
     println!("binary rewriting of the e1000 driver:");
-    println!("  instructions : {} -> {} ({:.2}x)", s.insns_before, s.insns_after, s.expansion_factor());
-    println!("  memory sites : {} ({:.0}% of instructions)", s.mem_sites, s.mem_fraction() * 100.0);
+    println!(
+        "  instructions : {} -> {} ({:.2}x)",
+        s.insns_before,
+        s.insns_after,
+        s.expansion_factor()
+    );
+    println!(
+        "  memory sites : {} ({:.0}% of instructions)",
+        s.mem_sites,
+        s.mem_fraction() * 100.0
+    );
     println!("  string sites : {}", s.string_sites);
     println!("  indirect     : {}", s.indirect_sites);
     println!("  spill sites  : {}", s.spill_sites);

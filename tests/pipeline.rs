@@ -11,11 +11,13 @@ fn all_four_systems_move_packets() {
     for config in Config::ALL {
         let mut sys = System::build(config).unwrap_or_else(|e| panic!("{config}: {e}"));
         for _ in 0..10 {
-            sys.transmit_one().unwrap_or_else(|e| panic!("{config} tx: {e}"));
+            sys.transmit_one()
+                .unwrap_or_else(|e| panic!("{config} tx: {e}"));
         }
         assert_eq!(sys.take_wire_frames().len(), 10, "{config} transmit");
         for _ in 0..10 {
-            sys.receive_one().unwrap_or_else(|e| panic!("{config} rx: {e}"));
+            sys.receive_one()
+                .unwrap_or_else(|e| panic!("{config} rx: {e}"));
         }
         assert_eq!(sys.delivered_rx(), 10, "{config} receive");
     }
@@ -40,7 +42,11 @@ fn both_instances_share_one_copy_of_driver_data() {
         .machine
         .read_u32(dom0, ExecMode::Guest, adapter + e1000::adapter::TX_PACKETS)
         .unwrap();
-    assert_eq!(after - before, 7, "stats written by the hypervisor instance");
+    assert_eq!(
+        after - before,
+        7,
+        "stats written by the hypervisor instance"
+    );
 
     // And the VM instance reads them through its own entry point.
     let get_stats = sys.driver.entry("e1000_get_stats").unwrap();
@@ -106,7 +112,11 @@ fn config_ops_run_in_vm_instance_while_fast_path_runs_in_hypervisor() {
     let adapter = sys.driver.data_symbol("adapter").unwrap();
     let wd = sys
         .machine
-        .read_u32(dom0, ExecMode::Guest, adapter + e1000::adapter::WATCHDOG_RUNS)
+        .read_u32(
+            dom0,
+            ExecMode::Guest,
+            adapter + e1000::adapter::WATCHDOG_RUNS,
+        )
         .unwrap();
     assert!(wd >= 1, "watchdog ran in the VM instance");
     assert_eq!(sys.take_wire_frames().len(), 20);

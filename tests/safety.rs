@@ -176,7 +176,9 @@ fn iommu_blocks_rogue_dma() {
     let daddr = tdbal + tdh as u64 * twin_nic::DESC_SIZE;
     sys.machine.phys.write_u32(daddr, 0x0F00_0000); // unowned frame
     sys.machine.phys.write_u32(daddr + 8, 64);
-    sys.machine.phys.write_u8(daddr + 11, twin_nic::txcmd::EOP | twin_nic::txcmd::RS);
+    sys.machine
+        .phys
+        .write_u8(daddr + 11, twin_nic::txcmd::EOP | twin_nic::txcmd::RS);
     let iommu = sys.world.iommu.as_mut().unwrap();
     let err = iommu
         .check_tx_ring(&sys.machine, &mut sys.world.nics[0], tdh + 1)

@@ -59,7 +59,11 @@ fn interrupt_handler_backs_off_when_lock_held() {
         .write_u32(dom0, ExecMode::Guest, adapter + TX_LOCK_OFF, 1)
         .unwrap();
     sys.receive_one().unwrap();
-    assert_eq!(sys.delivered_rx(), 1, "receive path does not need the TX lock");
+    assert_eq!(
+        sys.delivered_rx(),
+        1,
+        "receive path does not need the TX lock"
+    );
     sys.machine
         .write_u32(dom0, ExecMode::Guest, adapter + TX_LOCK_OFF, 0)
         .unwrap();
@@ -107,7 +111,12 @@ fn virtual_interrupt_flag_defers_softirq_work() {
         .domain_mut(twin_xen::DomId::DOM0)
         .virq_enabled = true;
     assert_eq!(
-        sys.world.xen.as_mut().unwrap().take_runnable_softirqs().len(),
+        sys.world
+            .xen
+            .as_mut()
+            .unwrap()
+            .take_runnable_softirqs()
+            .len(),
         1
     );
 }
