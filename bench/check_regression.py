@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the shard sweep.
+
+Compares a freshly produced BENCH_shard.json against the committed
+bench/baseline.json and fails (exit 1) when any sweep point's amortized
+cycles/packet regresses by more than the tolerance (default 10%), or
+when a sweep point disappears. Improvements and new points pass; a
+clearly better run should be accompanied by a refreshed baseline
+(regenerate with `TWIN_BENCH_PACKETS=64 cargo bench -p twin-bench
+--bench shard_sweep && cp BENCH_shard.json bench/baseline.json`).
+
+Usage: check_regression.py BASELINE CURRENT [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        (e["config"], e["nics"], e["burst"]): e for e in data["entries"]
+    }, data.get("packets")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional cycles/packet regression (default 0.10)")
+    args = ap.parse_args()
+
+    base, base_pkts = load(args.baseline)
+    cur, cur_pkts = load(args.current)
+    if base_pkts != cur_pkts:
+        print(f"note: packet counts differ (baseline {base_pkts}, current {cur_pkts}); "
+              "comparison is still amortized per packet")
+
+    failures = []
+    for key, b in sorted(base.items()):
+        c = cur.get(key)
+        label = f"config={key[0]} nics={key[1]} burst={key[2]}"
+        if c is None:
+            failures.append(f"{label}: sweep point missing from current run")
+            continue
+        for field in ("tx_cycles_per_packet", "rx_cycles_per_packet"):
+            old, new = b[field], c[field]
+            limit = old * (1.0 + args.tolerance)
+            delta = (new - old) / old if old else 0.0
+            status = "FAIL" if new > limit else "ok"
+            print(f"  {status}  {label} {field}: {old:.1f} -> {new:.1f} ({delta:+.1%})")
+            if new > limit:
+                failures.append(
+                    f"{label}: {field} regressed {delta:+.1%} "
+                    f"({old:.1f} -> {new:.1f}, limit {args.tolerance:.0%})")
+
+    if failures:
+        print(f"\nbench regression gate FAILED ({len(failures)} issue(s)):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nbench regression gate passed ({len(base)} sweep points, "
+          f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+//! Multi-NIC shard sweep: aggregate RX+TX throughput and amortized
+//! cycles/packet, sweeping 1 → 8 NICs at burst 1 / 8 / 32 on the
+//! TwinDrivers configuration (round-robin burst sharding).
+//!
+//! Not a paper figure — this extends the reproduction to the paper's
+//! five-NIC-testbed scale (§6.1) and beyond: one driver image serves
+//! every NIC, per-device rings/IRQ/softirq/adapter state, and the
+//! aggregate is link-limited or CPU-limited per direction, whichever
+//! binds first. Acceptance: aggregate RX+TX throughput scales ≥ 3× from
+//! 1 to 4 NICs at burst 32.
+//!
+//! Besides the human-readable table, the sweep writes
+//! **`BENCH_shard.json`** (workspace root) so CI's bench-regression gate
+//! and future PRs can track the perf trajectory against
+//! `bench/baseline.json`.
+
+use twin_bench::{banner, packets};
+use twindrivers::measure::{measure_aggregate_throughput, AggregateThroughput};
+use twindrivers::{Config, ShardPolicy, System};
+
+const NIC_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BURSTS: [usize; 3] = [1, 8, 32];
+
+fn json_entry(config: Config, a: &AggregateThroughput) -> String {
+    format!(
+        concat!(
+            "    {{\"config\": \"{}\", \"nics\": {}, \"burst\": {}, ",
+            "\"tx_cycles_per_packet\": {:.1}, \"rx_cycles_per_packet\": {:.1}, ",
+            "\"tx_mbps\": {:.1}, \"rx_mbps\": {:.1}, \"aggregate_mbps\": {:.1}}}"
+        ),
+        config.label(),
+        a.nics,
+        a.burst,
+        a.tx_cycles_per_packet,
+        a.rx_cycles_per_packet,
+        a.tx.mbps,
+        a.rx.mbps,
+        a.aggregate_mbps(),
+    )
+}
+
+fn main() {
+    banner(
+        "Shard sweep — aggregate RX+TX throughput vs NIC count",
+        "repo extension (testbed §6.1); acceptance: ≥ 3x aggregate from 1 to 4 NICs at burst 32",
+    );
+    let config = Config::TwinDrivers;
+    let pkts = packets();
+    let mut entries: Vec<String> = Vec::new();
+    let mut base_agg32 = 0.0;
+    let mut four_agg32 = 0.0;
+    println!("  {} (round-robin burst sharding):", config.label());
+    for nics in NIC_COUNTS {
+        for burst in BURSTS {
+            let mut sys = System::build_sharded(config, nics, ShardPolicy::RoundRobin)
+                .expect("build sharded system");
+            let a = measure_aggregate_throughput(&mut sys, burst, pkts).expect("sweep point");
+            println!("    {}", a.row());
+            if burst == 32 && nics == 1 {
+                base_agg32 = a.aggregate_mbps();
+            }
+            if burst == 32 && nics == 4 {
+                four_agg32 = a.aggregate_mbps();
+            }
+            entries.push(json_entry(config, &a));
+        }
+        println!();
+    }
+    let scaling = four_agg32 / base_agg32.max(1.0);
+    println!("  aggregate scaling 1 -> 4 NICs at burst 32: {scaling:.2}x (acceptance >= 3x)");
+
+    let json = format!(
+        "{{\n  \"packets\": {},\n  \"policy\": \"round-robin\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+        pkts,
+        entries.join(",\n"),
+    );
+    // Anchor at the workspace root regardless of cargo's bench cwd.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("  wrote BENCH_shard.json ({} sweep points)", entries.len()),
+        Err(e) => eprintln!("  could not write {out}: {e}"),
+    }
+}

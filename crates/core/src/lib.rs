@@ -55,6 +55,29 @@
 //! same traffic with ≥ 1.3× fewer amortized cycles/packet and 32× fewer
 //! interrupts/packet than burst 1.
 //!
+//! ## The multi-NIC sharded datapath
+//!
+//! On top of the burst pipeline, [`System`] drives up to
+//! [`kernel::e1000::MAX_NICS`] NICs from **one** driver image, like the
+//! paper's five-NIC testbed (§6.1): each device gets its own MMIO
+//! window, descriptor rings, IRQ line, softirq source and adapter slot
+//! (the driver's `*_dev` entry points take a device id and select the
+//! slot before the shared body runs), and a [`ShardPolicy`] maps traffic
+//! to devices — `Static` pinning, `RoundRobin` burst rotation, or
+//! `FlowHash` flow pinning (which preserves per-flow order by
+//! construction). Each NIC's RX batch demuxes into per-guest queues and
+//! one fan-out flush delivers them with one virtual interrupt per guest
+//! per fairness-quantum round, so a flooding guest cannot starve
+//! another guest's virq latency.
+//!
+//! [`measure::measure_aggregate_throughput`] converts the amortized
+//! cycles/packet of a sharded run into aggregate RX+TX throughput over
+//! the system's links (`cargo bench -p twin-bench --bench shard_sweep`
+//! sweeps 1→8 NICs at burst 1/8/32 and emits `BENCH_shard.json`).
+//! Aggregate throughput scales ≥ 3× from one to four NICs at burst 32;
+//! a single NIC is the degenerate case and reproduces PR 1's burst
+//! figures cycle for cycle.
+//!
 //! ```no_run
 //! use twindrivers::{Config, System};
 //!
@@ -76,8 +99,13 @@ pub mod measure;
 pub mod system;
 
 pub use iommu::Iommu;
-pub use measure::{throughput, Breakdown, BurstMeasurement, Throughput, CPU_HZ, TESTBED_NICS};
-pub use system::{peer_mac, Config, System, SystemError, SystemOptions, World, MAX_BURST};
+pub use measure::{
+    measure_aggregate_throughput, throughput, AggregateThroughput, Breakdown, BurstMeasurement,
+    Throughput, CPU_HZ, TESTBED_NICS,
+};
+pub use system::{
+    peer_mac, Config, ShardPolicy, System, SystemError, SystemOptions, World, MAX_BURST,
+};
 
 // Re-export the substrate crates so downstream users (workloads, benches,
 // examples) need only one dependency.

@@ -1,6 +1,8 @@
-//! Measurement primitives: per-packet cycle breakdowns and the
-//! cycles-to-throughput conversion used by every figure harness.
+//! Measurement primitives: per-packet cycle breakdowns, the
+//! cycles-to-throughput conversion used by every figure harness, and the
+//! multi-NIC aggregate-throughput sweep.
 
+use crate::system::{System, SystemError};
 use std::collections::BTreeMap;
 use twin_machine::{CostDomain, CycleMeter};
 use twin_net::{wire_bits, MTU};
@@ -118,6 +120,108 @@ pub fn throughput(cpp: f64, nics: u32) -> Throughput {
             cpu_util: 1.0,
         }
     }
+}
+
+/// One point of the multi-NIC shard sweep: amortized per-packet cost and
+/// the aggregate throughput it sustains over `nics` gigabit links, both
+/// directions.
+#[derive(Clone, Debug)]
+pub struct AggregateThroughput {
+    /// NICs driven concurrently.
+    pub nics: u32,
+    /// Burst size per driver invocation.
+    pub burst: usize,
+    /// Amortized transmit cycles/packet at this burst size.
+    pub tx_cycles_per_packet: f64,
+    /// Amortized receive cycles/packet at this burst size.
+    pub rx_cycles_per_packet: f64,
+    /// Transmit throughput over the `nics` links.
+    pub tx: Throughput,
+    /// Receive throughput over the `nics` links.
+    pub rx: Throughput,
+}
+
+impl AggregateThroughput {
+    /// Combined RX+TX throughput in Mb/s (full-duplex aggregate — the
+    /// shard sweep's headline scaling figure).
+    pub fn aggregate_mbps(&self) -> f64 {
+        self.tx.mbps + self.rx.mbps
+    }
+
+    /// One sweep-table row.
+    pub fn row(&self) -> String {
+        format!(
+            "nics {:>2}  burst {:>4}  tx {:>6.0} Mb/s ({:>6.0} cyc/pkt)  rx {:>6.0} Mb/s ({:>6.0} cyc/pkt)  aggregate {:>7.0} Mb/s",
+            self.nics,
+            self.burst,
+            self.tx.mbps,
+            self.tx_cycles_per_packet,
+            self.rx.mbps,
+            self.rx_cycles_per_packet,
+            self.aggregate_mbps(),
+        )
+    }
+}
+
+/// Measures aggregate RX+TX throughput of a (possibly multi-NIC) system
+/// at a fixed burst size: `packets` packets move in each direction in
+/// bursts of `burst`, sharded across the NICs by the system's policy;
+/// the amortized cycles/packet convert to throughput via [`throughput`]
+/// (link-limited or CPU-limited, whichever binds first — exactly how the
+/// paper's five-NIC testbed aggregates).
+///
+/// The link ceiling per direction counts only NICs that **actually
+/// carried traffic** during that direction's run: a 4-NIC system under
+/// `ShardPolicy::Static(0)` is capped at one gigabit link, not four —
+/// idle hardware adds no capacity.
+///
+/// A single NIC at burst 1 is the degenerate case and reproduces the
+/// per-packet figures.
+///
+/// # Errors
+///
+/// Propagates measurement errors from the underlying burst sweeps.
+pub fn measure_aggregate_throughput(
+    sys: &mut System,
+    burst: usize,
+    packets: u64,
+) -> Result<AggregateThroughput, SystemError> {
+    let nics = sys.nic_count() as u32;
+    let active = |before: &[(u64, u64)], sys: &System| -> (u32, u32) {
+        let mut tx_links = 0;
+        let mut rx_links = 0;
+        for (nic, (t0, r0)) in sys.world.nics.iter().zip(before) {
+            let s = nic.stats();
+            tx_links += u32::from(s.tx_packets > *t0);
+            rx_links += u32::from(s.rx_packets > *r0);
+        }
+        (tx_links, rx_links)
+    };
+    let snapshot = |sys: &System| -> Vec<(u64, u64)> {
+        sys.world
+            .nics
+            .iter()
+            .map(|n| (n.stats().tx_packets, n.stats().rx_packets))
+            .collect()
+    };
+
+    let before = snapshot(sys);
+    let tx = sys.measure_tx_burst(burst, packets)?;
+    let (tx_links, _) = active(&before, sys);
+    let before = snapshot(sys);
+    let rx = sys.measure_rx_burst(burst, packets)?;
+    let (_, rx_links) = active(&before, sys);
+
+    let tx_cpp = tx.breakdown.total();
+    let rx_cpp = rx.breakdown.total();
+    Ok(AggregateThroughput {
+        nics,
+        burst,
+        tx_cycles_per_packet: tx_cpp,
+        rx_cycles_per_packet: rx_cpp,
+        tx: throughput(tx_cpp, tx_links.max(1)),
+        rx: throughput(rx_cpp, rx_links.max(1)),
+    })
 }
 
 #[cfg(test)]

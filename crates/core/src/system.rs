@@ -58,6 +58,36 @@ pub fn peer_mac() -> MacAddr {
     MacAddr::for_guest(1000)
 }
 
+/// How traffic is sharded across the NICs of a multi-NIC system (the
+/// paper's testbed drove five NICs concurrently from one hypervisor
+/// driver image; §6.1).
+///
+/// Sharding operates at *driver-invocation* granularity where possible so
+/// burst amortization survives: a whole burst lands on one NIC, and the
+/// next burst may land on another. [`ShardPolicy::FlowHash`] pins every
+/// flow to one NIC (like receive-side scaling / transmit packet
+/// steering), which preserves per-flow frame order by construction. With
+/// a single NIC every policy degenerates to the exact PR 1 burst path on
+/// NIC 0.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ShardPolicy {
+    /// All traffic on one fixed NIC (clamped to the last device). The
+    /// default, and the single-NIC degenerate case.
+    Static(u32),
+    /// Successive bursts rotate across NICs round-robin (bonding mode
+    /// balance-rr at burst granularity; keeps whole-burst amortization).
+    RoundRobin,
+    /// Frames hash by flow id to a NIC: same flow, same NIC, always —
+    /// per-flow ordering is preserved across any number of devices.
+    FlowHash,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> ShardPolicy {
+        ShardPolicy::Static(0)
+    }
+}
+
 /// Which system is being measured.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Config {
@@ -116,6 +146,20 @@ pub struct SystemOptions {
     /// Alternative driver assembly source (fault-injection experiments);
     /// `None` uses the stock e1000 driver.
     pub driver_source: Option<String>,
+    /// Number of NICs the system drives (clamped to
+    /// 1..=[`e1000::MAX_NICS`]). Each gets its own MMIO window, rings,
+    /// IRQ line, softirq source and adapter slot.
+    pub num_nics: usize,
+    /// How traffic maps to NICs when `num_nics > 1`.
+    pub shard: ShardPolicy,
+    /// Per-guest fairness quantum for the receive demux flush: at most
+    /// this many frames are copied into one guest per round before every
+    /// other pending guest gets its virtual interrupt, so a flooding
+    /// guest cannot starve others' virq latency. The guest-stack wakeup
+    /// cost still amortises across the whole flush, so per-packet cycle
+    /// figures are unchanged; only backlogs beyond the quantum pay an
+    /// extra (cheap) virq per round.
+    pub rx_flush_quantum: usize,
 }
 
 impl Default for SystemOptions {
@@ -127,6 +171,9 @@ impl Default for SystemOptions {
             iommu: false,
             pool_size: 1024,
             driver_source: None,
+            num_nics: 1,
+            shard: ShardPolicy::default(),
+            rx_flush_quantum: 64,
         }
     }
 }
@@ -276,10 +323,23 @@ pub struct System {
     pub hyperdrv: Option<HypervisorDriver>,
     /// Rewrite statistics (TwinDrivers only).
     pub rewrite_stats: Option<RewriteStats>,
-    /// net_device pointer.
+    /// net_device pointer of NIC 0 (the single-NIC fast path).
     pub netdev: u64,
+    /// net_device pointers, one per NIC in device order.
+    pub netdevs: Vec<u64>,
     /// The measured guest (guest configurations).
     pub guest: Option<DomId>,
+    /// Per-round log of the most recent receive-demux flush:
+    /// `(round, guest, frames delivered)` — the fairness quantum's
+    /// observable behaviour (a starved guest would only appear in late
+    /// rounds).
+    pub rx_flush_log: Vec<(usize, DomId, usize)>,
+    /// Traffic-to-NIC mapping.
+    shard: ShardPolicy,
+    /// Round-robin cursor for [`ShardPolicy::RoundRobin`].
+    rr_next: u32,
+    /// Per-guest flush quantum (see [`SystemOptions::rx_flush_quantum`]).
+    rx_flush_quantum: usize,
     dom0: SpaceId,
     dom0_stack_top: u64,
     guest_tx_frag: u64,
@@ -302,6 +362,73 @@ impl System {
         System::build_with(config, &SystemOptions::default())
     }
 
+    /// Builds a system driving `nics` NICs under `shard`, with all other
+    /// options at their defaults (the multi-NIC sweep entry point).
+    ///
+    /// # Errors
+    ///
+    /// See [`System::build`].
+    pub fn build_sharded(
+        config: Config,
+        nics: usize,
+        shard: ShardPolicy,
+    ) -> Result<System, SystemError> {
+        System::build_with(
+            config,
+            &SystemOptions {
+                num_nics: nics,
+                shard,
+                ..SystemOptions::default()
+            },
+        )
+    }
+
+    /// Number of NICs this system drives.
+    pub fn nic_count(&self) -> usize {
+        self.world.nics.len()
+    }
+
+    /// True when more than one NIC is attached: driver invocations then
+    /// go through the device-id-taking entry points.
+    fn multi_nic(&self) -> bool {
+        self.world.nics.len() > 1
+    }
+
+    /// net_device pointer for a NIC.
+    fn netdev_of(&self, dev: u32) -> u64 {
+        self.netdevs[dev as usize]
+    }
+
+    /// Splits one burst's frames into per-NIC groups under the sharding
+    /// policy. Order within a group preserves arrival order, so per-flow
+    /// order is preserved whenever a flow maps to a single NIC (always,
+    /// for every policy here).
+    fn shard_frames(&mut self, frames: Vec<Frame>) -> Vec<(u32, Vec<Frame>)> {
+        let n = self.world.nics.len() as u32;
+        if n == 1 {
+            return vec![(0, frames)];
+        }
+        match self.shard {
+            ShardPolicy::Static(dev) => vec![(dev.min(n - 1), frames)],
+            ShardPolicy::RoundRobin => {
+                let dev = self.rr_next % n;
+                self.rr_next = (self.rr_next + 1) % n;
+                vec![(dev, frames)]
+            }
+            ShardPolicy::FlowHash => {
+                let mut groups: Vec<(u32, Vec<Frame>)> = Vec::new();
+                for f in frames {
+                    let dev = (f.flow.wrapping_mul(2_654_435_761) >> 16) % n;
+                    match groups.iter_mut().find(|(d, _)| *d == dev) {
+                        Some((_, v)) => v.push(f),
+                        None => groups.push((dev, vec![f])),
+                    }
+                }
+                groups
+            }
+        }
+    }
+
     /// Builds a system with explicit options.
     ///
     /// # Errors
@@ -311,12 +438,18 @@ impl System {
         let source = opts.driver_source.clone().unwrap_or_else(e1000::source);
         let module = assemble("e1000", &source).map_err(|e| SystemError::Build(e.to_string()))?;
 
+        let num_nics = opts.num_nics.clamp(1, e1000::MAX_NICS);
         let mut machine = Machine::new();
         let dom0 = machine.new_space();
-        for p in 0..(MMIO_WINDOW / PAGE_SIZE) {
-            machine
-                .space_mut(dom0)
-                .map(MMIO_BASE + p * PAGE_SIZE, PageEntry::mmio(0, p));
+        // One MMIO window per device, contiguous in dom0's address space
+        // (`ioremap(dev)` hands out `MMIO_BASE + dev * MMIO_WINDOW`).
+        for dev in 0..num_nics as u64 {
+            for p in 0..(MMIO_WINDOW / PAGE_SIZE) {
+                machine.space_mut(dom0).map(
+                    MMIO_BASE + dev * MMIO_WINDOW + p * PAGE_SIZE,
+                    PageEntry::mmio(dev as u32, p),
+                );
+            }
         }
         machine.map_stack(
             dom0,
@@ -325,12 +458,26 @@ impl System {
         )?;
         let dom0_stack_top =
             twin_kernel::DOM0_STACK_BASE + twin_kernel::DOM0_STACK_PAGES * PAGE_SIZE;
-        let kernel = Dom0Kernel::new(&mut machine, dom0, opts.pool_size)?;
-        let nic = Nic::new(0, MacAddr::for_guest(0));
+        // Each extra NIC posts 127 RX buffers at open; grow the pool so
+        // multi-NIC systems keep the same transmit headroom as one NIC.
+        let pool_size = opts.pool_size + 256 * (num_nics - 1);
+        let kernel = Dom0Kernel::new(&mut machine, dom0, pool_size)?;
+        let nics: Vec<Nic> = (0..num_nics as u32)
+            .map(|dev| {
+                // NIC 0 keeps dom0's classic MAC (the degenerate path is
+                // bit-identical); extra NICs get their own hardware MACs.
+                let mac = if dev == 0 {
+                    MacAddr::for_guest(0)
+                } else {
+                    MacAddr::for_nic(dev)
+                };
+                Nic::new(dev, mac)
+            })
+            .collect();
 
         let mut world = World {
             kernel,
-            nics: vec![nic],
+            nics,
             xen: None,
             hyper: None,
             svm_vm: None,
@@ -383,7 +530,12 @@ impl System {
             hyperdrv: None,
             rewrite_stats,
             netdev: 0,
+            netdevs: Vec::new(),
             guest: None,
+            rx_flush_log: Vec::new(),
+            shard: opts.shard,
+            rr_next: 0,
+            rx_flush_quantum: opts.rx_flush_quantum,
             dom0,
             dom0_stack_top,
             guest_tx_frag: 0,
@@ -395,11 +547,17 @@ impl System {
         // Initialise the VM instance in dom0 (paper §3.1: "we first load
         // the VM driver into the dom0 kernel where it performs the
         // initialization of the NIC and the driver data structures").
-        sys.call_dom0(sys.driver.entry("e1000_probe").unwrap(), &[0], 50_000_000)?;
-        sys.netdev = sys.world.kernel.registered_netdevs[0];
-        let open = sys.driver.entry("e1000_open").unwrap();
-        let netdev32 = sys.netdev as u32;
-        sys.call_dom0(open, &[netdev32], 200_000_000)?;
+        // Probe selects adapter slot `dev`; open programs that device's
+        // rings — one pass per NIC.
+        for dev in 0..num_nics {
+            let probe = sys.driver.entry("e1000_probe").unwrap();
+            sys.call_dom0(probe, &[dev as u32], 50_000_000)?;
+            let netdev = sys.world.kernel.registered_netdevs[dev];
+            sys.netdevs.push(netdev);
+            let open = sys.driver.entry("e1000_open").unwrap();
+            sys.call_dom0(open, &[netdev as u32], 200_000_000)?;
+        }
+        sys.netdev = sys.netdevs[0];
         // Pointer array for burst transmits, in dom0 memory so both
         // driver instances can walk it.
         sys.tx_batch_buf = sys
@@ -432,9 +590,12 @@ impl System {
 
         // TwinDrivers: derive and load the hypervisor instance.
         if config == Config::TwinDrivers {
+            // The reserved pool backs RX replenishment for every NIC in
+            // steady state (each swaps in ~128 buffers), so it scales
+            // with the device count; one NIC keeps the paper's 512.
             sys.world
                 .kernel
-                .reserve_hypervisor_pool(&mut sys.machine, 512)?;
+                .reserve_hypervisor_pool(&mut sys.machine, 512 * num_nics)?;
             let mut svm = Svm::new_hypervisor(&mut sys.machine, dom0, 0, (0, u64::MAX))?;
             let hyp = load_hypervisor_driver(
                 &mut sys.machine,
@@ -530,6 +691,13 @@ impl System {
         Ok(cpu.reg(twin_isa::Reg::Eax))
     }
 
+    /// Flows the internal traffic generators cycle over: the paper's
+    /// netperf runs several concurrent streams to fill five NICs, so
+    /// generated traffic models a small set of flows — enough for
+    /// [`ShardPolicy::FlowHash`] to spread across every device (flow is
+    /// bookkeeping only; costs and single-NIC behaviour are unchanged).
+    const GEN_FLOWS: u64 = 8;
+
     fn next_tx_frame(&mut self) -> Frame {
         let src = match self.config {
             Config::XenGuest | Config::TwinDrivers => MacAddr::for_guest(1),
@@ -540,7 +708,7 @@ impl System {
             src,
             ethertype: EtherType::Ipv4,
             payload_len: MTU,
-            flow: 1,
+            flow: 1 + (self.seq % Self::GEN_FLOWS) as u32,
             seq: self.seq,
         };
         self.seq += 1;
@@ -557,7 +725,7 @@ impl System {
             src: peer_mac(),
             ethertype: EtherType::Ipv4,
             payload_len: MTU,
-            flow: 2,
+            flow: 101 + (self.seq % Self::GEN_FLOWS) as u32,
             seq: self.seq,
         };
         self.seq += 1;
@@ -591,18 +759,23 @@ impl System {
     /// See [`System::transmit_one`].
     pub fn transmit_burst(&mut self, n: usize) -> Result<usize, SystemError> {
         let mut total = 0;
-        while total < n {
+        'bursts: while total < n {
             let chunk = (n - total).min(MAX_BURST);
             let frames: Vec<Frame> = (0..chunk).map(|_| self.next_tx_frame()).collect();
-            let sent = match self.config {
-                Config::NativeLinux => self.tx_dom0_style(&frames, false),
-                Config::XenDom0 => self.tx_dom0_style(&frames, true),
-                Config::XenGuest => self.tx_baseline_guest(&frames),
-                Config::TwinDrivers => self.tx_twin(&frames),
-            }?;
-            total += sent;
-            if sent < chunk {
-                break; // ring pressure: the shortfall was dropped
+            // Shard the chunk across NICs; one NIC receives the whole
+            // chunk under Static/RoundRobin, FlowHash may split it.
+            for (dev, group) in self.shard_frames(frames) {
+                let want = group.len();
+                let sent = match self.config {
+                    Config::NativeLinux => self.tx_dom0_style(&group, false, dev),
+                    Config::XenDom0 => self.tx_dom0_style(&group, true, dev),
+                    Config::XenGuest => self.tx_baseline_guest(&group, dev),
+                    Config::TwinDrivers => self.tx_twin(&group, dev),
+                }?;
+                total += sent;
+                if sent < want {
+                    break 'bursts; // ring pressure: the shortfall was dropped
+                }
             }
         }
         Ok(total)
@@ -634,10 +807,15 @@ impl System {
     /// remainder goes in a follow-up invocation, so large bursts cost a
     /// few doorbells instead of failing. Returns how many packets the
     /// ring accepted; unaccepted skbs are freed here.
-    fn drive_tx(&mut self, skbs: &[SkBuff], hypervisor: bool) -> Result<usize, SystemError> {
+    fn drive_tx(
+        &mut self,
+        skbs: &[SkBuff],
+        hypervisor: bool,
+        dev: u32,
+    ) -> Result<usize, SystemError> {
         let mut done = 0;
         while done < skbs.len() {
-            let accepted = match self.drive_tx_once(&skbs[done..], hypervisor) {
+            let accepted = match self.drive_tx_once(&skbs[done..], hypervisor, dev) {
                 Ok(a) => a,
                 Err(e) => {
                     // Return the in-flight remainder to the pools before
@@ -656,21 +834,33 @@ impl System {
     }
 
     /// One driver invocation: `e1000_xmit_frame` for a burst of one (the
-    /// exact per-packet path), `e1000_xmit_batch` otherwise.
-    fn drive_tx_once(&mut self, skbs: &[SkBuff], hypervisor: bool) -> Result<usize, SystemError> {
+    /// exact per-packet path), `e1000_xmit_batch` otherwise. Multi-NIC
+    /// systems go through the `*_dev` entries, which select device
+    /// `dev`'s adapter slot before the shared body runs.
+    fn drive_tx_once(
+        &mut self,
+        skbs: &[SkBuff],
+        hypervisor: bool,
+        dev: u32,
+    ) -> Result<usize, SystemError> {
+        let multi = self.multi_nic();
         let sent = if let [skb] = skbs {
-            let args = [skb.0 as u32, self.netdev as u32];
+            let args = if multi {
+                vec![skb.0 as u32, self.netdev_of(dev) as u32, dev]
+            } else {
+                vec![skb.0 as u32, self.netdev as u32]
+            };
+            let entry = if multi {
+                "e1000_xmit_frame_dev"
+            } else {
+                "e1000_xmit_frame"
+            };
             self.machine.meter.push_domain(CostDomain::Driver);
             let r = if hypervisor {
-                let xmit = self
-                    .hyperdrv
-                    .as_ref()
-                    .unwrap()
-                    .entry("e1000_xmit_frame")
-                    .unwrap();
+                let xmit = self.hyperdrv.as_ref().unwrap().entry(entry).unwrap();
                 self.call_hyperdrv(xmit, &args, 2_000_000)
             } else {
-                let xmit = self.driver.entry("e1000_xmit_frame").unwrap();
+                let xmit = self.driver.entry(entry).unwrap();
                 self.call_dom0(xmit, &args, 2_000_000)
             };
             self.machine.meter.pop_domain();
@@ -684,18 +874,38 @@ impl System {
                     skb.0 as u32,
                 )?;
             }
-            let args = [
-                self.tx_batch_buf as u32,
-                skbs.len() as u32,
-                self.netdev as u32,
-            ];
+            let args = if multi {
+                vec![
+                    self.tx_batch_buf as u32,
+                    skbs.len() as u32,
+                    self.netdev_of(dev) as u32,
+                    dev,
+                ]
+            } else {
+                vec![
+                    self.tx_batch_buf as u32,
+                    skbs.len() as u32,
+                    self.netdev as u32,
+                ]
+            };
+            let entry = if multi {
+                "e1000_xmit_batch_dev"
+            } else {
+                "e1000_xmit_batch"
+            };
             let budget = 2_000_000 * skbs.len() as u64;
             self.machine.meter.push_domain(CostDomain::Driver);
             let r = if hypervisor {
-                let xmit = self.hyperdrv.as_ref().unwrap().xmit_batch_entry().unwrap();
+                let hyp = self.hyperdrv.as_ref().unwrap();
+                let xmit = if multi {
+                    hyp.xmit_batch_dev_entry()
+                } else {
+                    hyp.xmit_batch_entry()
+                }
+                .unwrap();
                 self.call_hyperdrv(xmit, &args, budget)
             } else {
-                let xmit = self.driver.entry("e1000_xmit_batch").unwrap();
+                let xmit = self.driver.entry(entry).unwrap();
                 self.call_dom0(xmit, &args, budget)
             };
             self.machine.meter.pop_domain();
@@ -705,7 +915,12 @@ impl System {
     }
 
     /// Native Linux / dom0 transmit: stack → driver, burst-wise.
-    fn tx_dom0_style(&mut self, frames: &[Frame], on_xen: bool) -> Result<usize, SystemError> {
+    fn tx_dom0_style(
+        &mut self,
+        frames: &[Frame],
+        on_xen: bool,
+        dev: u32,
+    ) -> Result<usize, SystemError> {
         let mut skbs = Vec::with_capacity(frames.len());
         for (i, frame) in frames.iter().enumerate() {
             {
@@ -733,14 +948,14 @@ impl System {
                 return Err(e.into());
             }
         }
-        self.drive_tx(&skbs, false)
+        self.drive_tx(&skbs, false, dev)
     }
 
     /// Baseline Xen guest transmit (paper §2): netfront → I/O channel →
     /// netback → bridge → dom0 driver. netfront produces the whole burst
     /// of requests and notifies **once**; grants, copies and backend
     /// bookkeeping stay per-packet.
-    fn tx_baseline_guest(&mut self, frames: &[Frame]) -> Result<usize, SystemError> {
+    fn tx_baseline_guest(&mut self, frames: &[Frame], dev: u32) -> Result<usize, SystemError> {
         let gid = self.guest.expect("guest");
         for i in 0..frames.len() {
             // Guest stack + netfront request production.
@@ -781,7 +996,7 @@ impl System {
                 return Err(e.into());
             }
         }
-        let sent = self.drive_tx(&skbs, false)?;
+        let sent = self.drive_tx(&skbs, false, dev)?;
         // Unmap, produce the responses, one notification, switch back.
         let xen = self.world.xen.as_mut().unwrap();
         for _ in frames {
@@ -797,7 +1012,7 @@ impl System {
     /// hypervisor driver instance, all without leaving the guest
     /// context. A burst pays **one** hypercall and one driver
     /// invocation/doorbell.
-    fn tx_twin(&mut self, frames: &[Frame]) -> Result<usize, SystemError> {
+    fn tx_twin(&mut self, frames: &[Frame], dev: u32) -> Result<usize, SystemError> {
         for i in 0..frames.len() {
             let c = self.tx_stack_cost(i);
             let m = &mut self.machine;
@@ -807,6 +1022,7 @@ impl System {
         }
         let xen = self.world.xen.as_mut().expect("xen");
         xen.hypercall(&mut self.machine);
+        let netdev = self.netdev_of(dev) as u32;
         let mut skbs = Vec::with_capacity(frames.len());
         for frame in frames {
             let header_copy = self.header_copy.min(frame.len());
@@ -816,7 +1032,7 @@ impl System {
             }
             // Acquire a pre-allocated dom0 sk_buff through the (possibly
             // upcalled) support routine.
-            let skb = match self.call_support("netdev_alloc_skb", &[self.netdev as u32, 2048]) {
+            let skb = match self.call_support("netdev_alloc_skb", &[netdev, 2048]) {
                 Ok(v) if v != 0 => SkBuff(v as u64),
                 Ok(_) => {
                     self.free_skbs(&skbs)?;
@@ -851,7 +1067,7 @@ impl System {
                 return Err(e.into());
             }
         }
-        self.drive_tx(&skbs, true)
+        self.drive_tx(&skbs, true, dev)
     }
 
     /// Receives one MTU-sized packet along the configuration's full path
@@ -894,25 +1110,67 @@ impl System {
     /// [`SystemError::RxRingFull`] if the ring accepts nothing at all;
     /// otherwise propagates faults.
     pub fn receive_burst(&mut self, frames: &[Frame]) -> Result<usize, SystemError> {
+        if frames.is_empty() {
+            return Ok(0);
+        }
+        // The "wire side" of sharding: the switch sprays frames across
+        // the NICs per policy (all to NIC 0 in the degenerate case).
+        let mut groups = self.shard_frames(frames.to_vec());
         let mut done = 0;
-        while done < frames.len() {
-            let accepted =
-                self.world.nics[0].deliver_batch(&mut self.machine.phys, &frames[done..]);
-            if accepted == 0 {
+        loop {
+            // One hardware pass: every NIC with pending frames fills as
+            // many descriptors as it has buffers and latches one
+            // coalesced interrupt.
+            let mut pass_devs: Vec<u32> = Vec::new();
+            for (dev, pending) in groups.iter_mut() {
+                if pending.is_empty() {
+                    continue;
+                }
+                let accepted =
+                    self.world.nics[*dev as usize].deliver_batch(&mut self.machine.phys, pending);
+                if accepted > 0 {
+                    pending.drain(..accepted);
+                    done += accepted;
+                    pass_devs.push(*dev);
+                }
+            }
+            if pass_devs.is_empty() {
                 if done == 0 {
                     return Err(SystemError::RxRingFull);
                 }
-                break;
+                break; // every remaining ring is wedged
             }
-            done += accepted;
-            match self.config {
-                Config::NativeLinux => self.rx_dom0_style(false)?,
-                Config::XenDom0 => self.rx_dom0_style(true)?,
-                Config::XenGuest => self.rx_baseline_guest()?,
-                Config::TwinDrivers => self.rx_twin()?,
+            // One software pass: reap each NIC's batch, then fan the
+            // union out to the guests (one demux sweep per pass).
+            self.rx_pass(&pass_devs)?;
+            if groups.iter().all(|(_, pending)| pending.is_empty()) {
+                break;
             }
         }
         Ok(done)
+    }
+
+    /// Runs the configuration's receive software path for one hardware
+    /// pass covering `devs` (each with a freshly filled RX ring): per-NIC
+    /// interrupt dispatch and descriptor reap, then a single demux flush
+    /// with one virtual interrupt per destination guest per quantum
+    /// round.
+    fn rx_pass(&mut self, devs: &[u32]) -> Result<(), SystemError> {
+        match self.config {
+            Config::NativeLinux => {
+                for &dev in devs {
+                    self.rx_dom0_style(false, dev)?;
+                }
+            }
+            Config::XenDom0 => {
+                for &dev in devs {
+                    self.rx_dom0_style(true, dev)?;
+                }
+            }
+            Config::XenGuest => self.rx_baseline_guest(devs)?,
+            Config::TwinDrivers => self.rx_twin(devs)?,
+        }
+        Ok(())
     }
 
     /// Polled receive (NAPI-style): reaps every filled RX descriptor
@@ -926,21 +1184,36 @@ impl System {
     /// hypervisor driver is dead.
     pub fn poll_rx_batch(&mut self) -> Result<usize, SystemError> {
         self.world.kernel.begin_stack_burst();
-        self.machine.meter.push_domain(CostDomain::Driver);
-        let r = if self.config == Config::TwinDrivers {
-            let poll = self
-                .hyperdrv
-                .as_ref()
-                .unwrap()
-                .poll_rx_batch_entry()
+        let multi = self.multi_nic();
+        let mut reaped = 0usize;
+        for dev in 0..self.world.nics.len() as u32 {
+            let args = if multi {
+                vec![self.netdev_of(dev) as u32, dev]
+            } else {
+                vec![self.netdev as u32]
+            };
+            let entry = if multi {
+                "e1000_poll_rx_batch_dev"
+            } else {
+                "e1000_poll_rx_batch"
+            };
+            self.machine.meter.push_domain(CostDomain::Driver);
+            let r = if self.config == Config::TwinDrivers {
+                let hyp = self.hyperdrv.as_ref().unwrap();
+                let poll = if multi {
+                    hyp.poll_rx_batch_dev_entry()
+                } else {
+                    hyp.poll_rx_batch_entry()
+                }
                 .unwrap();
-            self.call_hyperdrv(poll, &[self.netdev as u32], 20_000_000)
-        } else {
-            let poll = self.driver.entry("e1000_poll_rx_batch").unwrap();
-            self.call_dom0(poll, &[self.netdev as u32], 20_000_000)
-        };
-        self.machine.meter.pop_domain();
-        let reaped = r? as usize;
+                self.call_hyperdrv(poll, &args, 20_000_000)
+            } else {
+                let poll = self.driver.entry(entry).unwrap();
+                self.call_dom0(poll, &args, 20_000_000)
+            };
+            self.machine.meter.pop_domain();
+            reaped += r? as usize;
+        }
         match self.config {
             // Hypervisor demux queued frames per guest: flush them.
             Config::TwinDrivers => self.flush_guest_rx_queues()?,
@@ -972,7 +1245,7 @@ impl System {
         Ok(gid)
     }
 
-    fn dispatch_dom0_irq(&mut self) -> Result<(), SystemError> {
+    fn dispatch_dom0_irq(&mut self, dev: u32) -> Result<(), SystemError> {
         // One interrupt covers however many descriptors the NIC filled;
         // the first packet the handler pushes into the stack pays the
         // full wakeup cost, the rest of the burst the GRO marginal.
@@ -980,20 +1253,27 @@ impl System {
         let m = &mut self.machine;
         m.meter.count_event("irq");
         m.meter.charge_to(CostDomain::Dom0, m.cost.irq_dispatch);
+        // Each NIC asserts its own IRQ line, which probe registered a
+        // handler for (`request_irq(dev, …)`).
+        let irq = self.world.nics[dev as usize].irq_line();
         let handler = *self
             .world
             .kernel
             .irq_handlers
-            .values()
-            .next()
+            .get(&irq)
             .expect("irq handler registered");
         self.machine.meter.push_domain(CostDomain::Driver);
-        let r = self.call_dom0(handler, &[self.netdev as u32], 10_000_000);
+        let r = if self.multi_nic() {
+            let intr = self.driver.entry("e1000_intr_dev").unwrap();
+            self.call_dom0(intr, &[self.netdev_of(dev) as u32, dev], 10_000_000)
+        } else {
+            self.call_dom0(handler, &[self.netdev as u32], 10_000_000)
+        };
         self.machine.meter.pop_domain();
         r.map(|_| ())
     }
 
-    fn rx_dom0_style(&mut self, on_xen: bool) -> Result<(), SystemError> {
+    fn rx_dom0_style(&mut self, on_xen: bool, dev: u32) -> Result<(), SystemError> {
         if on_xen {
             let xen = self.world.xen.as_mut().expect("xen");
             // Xen routes the physical interrupt to dom0 as an event.
@@ -1002,17 +1282,21 @@ impl System {
             m.meter
                 .charge_to(CostDomain::Xen, m.cost.paravirt_tax_per_packet);
         }
-        self.dispatch_dom0_irq()
+        self.dispatch_dom0_irq(dev)
     }
 
-    fn rx_baseline_guest(&mut self) -> Result<(), SystemError> {
+    fn rx_baseline_guest(&mut self, devs: &[u32]) -> Result<(), SystemError> {
         let gid = self.guest.expect("guest");
-        // Interrupt arrives while the guest runs: switch to dom0 first —
-        // once per coalesced interrupt, not once per frame.
+        // Interrupts arrive while the guest runs: one event per raising
+        // NIC, but a single switch to dom0 covers the whole pass.
         let xen = self.world.xen.as_mut().expect("xen");
-        xen.send_virq(&mut self.machine, DomId::DOM0, 3);
+        for _ in devs {
+            xen.send_virq(&mut self.machine, DomId::DOM0, 3);
+        }
         xen.switch_to(&mut self.machine, DomId::DOM0);
-        self.dispatch_dom0_irq()?;
+        for &dev in devs {
+            self.dispatch_dom0_irq(dev)?;
+        }
         self.forward_bridged_frames()?;
         let xen = self.world.xen.as_mut().unwrap();
         xen.switch_to(&mut self.machine, gid);
@@ -1062,24 +1346,38 @@ impl System {
         Ok(())
     }
 
-    fn rx_twin(&mut self) -> Result<(), SystemError> {
-        // The hypervisor takes the interrupt directly and runs the
+    fn rx_twin(&mut self, devs: &[u32]) -> Result<(), SystemError> {
+        // The hypervisor takes each NIC's interrupt directly and runs the
         // hypervisor driver's handler in softirq context (paper §4.4) —
-        // from the current (guest) context, no switch. One softirq pass
-        // reaps every descriptor the NIC filled for this interrupt.
-        {
-            let m = &mut self.machine;
-            m.meter.count_event("irq");
-            m.meter.charge_to(CostDomain::Xen, m.cost.irq_dispatch);
+        // from the current (guest) context, no switch. Every NIC is its
+        // own softirq source (duplicates coalesce per device), and one
+        // softirq pass reaps every descriptor each NIC filled.
+        for &dev in devs {
+            {
+                let m = &mut self.machine;
+                m.meter.count_event("irq");
+                m.meter.charge_to(CostDomain::Xen, m.cost.irq_dispatch);
+            }
+            let xen = self.world.xen.as_mut().expect("xen");
+            xen.raise_softirq(Softirq::DriverIrq { nic: dev });
         }
-        let xen = self.world.xen.as_mut().expect("xen");
-        xen.raise_softirq(Softirq::DriverIrq { nic: 0 });
-        let work = xen.take_runnable_softirqs();
+        let multi = self.multi_nic();
+        let work = self.world.xen.as_mut().unwrap().take_runnable_softirqs();
         for w in work {
-            let Softirq::DriverIrq { .. } = w;
-            let intr = self.hyperdrv.as_ref().unwrap().entry("e1000_intr").unwrap();
+            let Softirq::DriverIrq { nic } = w;
+            let (intr, args) = if multi {
+                (
+                    self.hyperdrv.as_ref().unwrap().intr_dev_entry().unwrap(),
+                    vec![self.netdev_of(nic) as u32, nic],
+                )
+            } else {
+                (
+                    self.hyperdrv.as_ref().unwrap().entry("e1000_intr").unwrap(),
+                    vec![self.netdev as u32],
+                )
+            };
             self.machine.meter.push_domain(CostDomain::Driver);
-            let r = self.call_hyperdrv(intr, &[self.netdev as u32], 20_000_000);
+            let r = self.call_hyperdrv(intr, &args, 20_000_000);
             self.machine.meter.pop_domain();
             r?;
         }
@@ -1087,54 +1385,88 @@ impl System {
     }
 
     /// Fans demultiplexed frames out of the per-guest RX queues into the
-    /// guests: per-packet copies and glue, but **one** virtual interrupt
-    /// per guest per pass, and the guest stack pays the full wakeup cost
-    /// only for the first frame of its batch (paper §5.3, batched).
+    /// guests: per-packet copies and glue, one virtual interrupt per
+    /// guest per quantum round, and the guest stack pays the full wakeup
+    /// cost only for the first frame of its flush batch (paper §5.3,
+    /// batched).
+    ///
+    /// **Fairness:** each round copies at most
+    /// [`SystemOptions::rx_flush_quantum`] frames into any one guest
+    /// before moving on, so a guest flooding the wire delays every other
+    /// guest's virq by at most one quantum of copies instead of its whole
+    /// backlog. Rounds repeat until every queue drains;
+    /// [`System::rx_flush_log`] records `(round, guest, frames)` for
+    /// observation.
     fn flush_guest_rx_queues(&mut self) -> Result<(), SystemError> {
-        let guest_ids: Vec<DomId> = self
-            .world
-            .xen
-            .as_ref()
-            .unwrap()
-            .domains
-            .iter()
-            .filter(|d| !d.rx_queue.is_empty())
-            .map(|d| d.id)
-            .collect();
-        for g in guest_ids {
-            let frames: Vec<Frame> = {
-                let xen = self.world.xen.as_mut().unwrap();
-                xen.domain_mut(g).rx_queue.drain(..).collect()
-            };
-            let xen = self.world.xen.as_mut().unwrap();
-            xen.send_virq(&mut self.machine, g, 4);
-            for (i, f) in frames.into_iter().enumerate() {
-                {
-                    let m = &mut self.machine;
-                    let c = m.cost.copy_cycles(f.len() as u64);
-                    m.meter.charge_to(CostDomain::Xen, c);
-                    m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_rx);
-                }
-                {
-                    let m = &mut self.machine;
-                    m.meter.charge_to(CostDomain::DomU, m.cost.pv_driver_guest);
-                    let stack = if i == 0 {
-                        m.cost.tcp_rx_per_packet
-                    } else {
-                        m.cost.tcp_rx_batch_marginal
-                    };
-                    m.meter.charge_to(CostDomain::DomU, stack);
-                }
-                let xen = self.world.xen.as_mut().unwrap();
-                xen.domain_mut(g).rx_delivered.push(f);
+        self.rx_flush_log.clear();
+        let quantum = self.rx_flush_quantum.max(1);
+        // Guests whose stack already paid the full wakeup cost in this
+        // flush (later rounds arrive in the same scheduling pass, so they
+        // only pay the batched marginal).
+        let mut woken: Vec<DomId> = Vec::new();
+        let mut round = 0usize;
+        loop {
+            let guest_ids: Vec<DomId> = self
+                .world
+                .xen
+                .as_ref()
+                .unwrap()
+                .domains
+                .iter()
+                .filter(|d| !d.rx_queue.is_empty())
+                .map(|d| d.id)
+                .collect();
+            if guest_ids.is_empty() {
+                break;
             }
+            for g in guest_ids {
+                let frames: Vec<Frame> = {
+                    let xen = self.world.xen.as_mut().unwrap();
+                    let queue = &mut xen.domain_mut(g).rx_queue;
+                    let take = queue.len().min(quantum);
+                    queue.drain(..take).collect()
+                };
+                let xen = self.world.xen.as_mut().unwrap();
+                xen.send_virq(&mut self.machine, g, 4);
+                self.rx_flush_log.push((round, g, frames.len()));
+                let first_wake = !woken.contains(&g);
+                if first_wake {
+                    woken.push(g);
+                }
+                for (i, f) in frames.into_iter().enumerate() {
+                    {
+                        let m = &mut self.machine;
+                        let c = m.cost.copy_cycles(f.len() as u64);
+                        m.meter.charge_to(CostDomain::Xen, c);
+                        m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_rx);
+                    }
+                    {
+                        let m = &mut self.machine;
+                        m.meter.charge_to(CostDomain::DomU, m.cost.pv_driver_guest);
+                        let stack = if i == 0 && first_wake {
+                            m.cost.tcp_rx_per_packet
+                        } else {
+                            m.cost.tcp_rx_batch_marginal
+                        };
+                        m.meter.charge_to(CostDomain::DomU, stack);
+                    }
+                    let xen = self.world.xen.as_mut().unwrap();
+                    xen.domain_mut(g).rx_delivered.push(f);
+                }
+            }
+            round += 1;
         }
         Ok(())
     }
 
-    /// Drains frames that reached the wire.
+    /// Drains frames that reached the wire, across every NIC in device
+    /// order.
     pub fn take_wire_frames(&mut self) -> Vec<Frame> {
-        self.world.nics[0].take_tx_frames()
+        let mut out = Vec::new();
+        for nic in &mut self.world.nics {
+            out.extend(nic.take_tx_frames());
+        }
+        out
     }
 
     /// Frames fully delivered to the measured receive endpoint.
@@ -1207,7 +1539,9 @@ impl System {
         packets: u64,
     ) -> Result<crate::measure::BurstMeasurement, SystemError> {
         let burst = burst.clamp(1, MAX_BURST);
-        for _ in 0..32 {
+        // Warm every NIC's stlb/pools (round-robin rotation spreads the
+        // warm-up bursts across all devices).
+        for _ in 0..32 * self.world.nics.len() {
             self.transmit_one()?;
         }
         self.take_wire_frames();
@@ -1237,7 +1571,9 @@ impl System {
         packets: u64,
     ) -> Result<crate::measure::BurstMeasurement, SystemError> {
         let burst = burst.clamp(1, MAX_BURST);
-        for _ in 0..160 {
+        // Per-NIC steady state needs a full ring cycle of buffer swaps;
+        // scale the warm-up so every shard reaches it.
+        for _ in 0..160 * self.world.nics.len() {
             self.receive_one()?;
         }
         self.machine.meter.reset();

@@ -20,13 +20,39 @@
 //!   kernel support routines (the paper counts 97 for the real driver —
 //!   only the ten in Table 1 appear on the error-free TX/RX path).
 //!
-//! The adapter struct lives in the data section, so in the TwinDrivers
-//! configuration it resides in dom0 memory and is shared by both driver
+//! The adapter structs live in the data section, so in the TwinDrivers
+//! configuration they reside in dom0 memory and are shared by both driver
 //! instances (paper §3.2).
+//!
+//! **Multi-NIC:** the data section holds [`MAX_NICS`] adapter slots of
+//! [`ADAPTER_STRIDE`] bytes, and `cur_adapter` points at the active slot
+//! (the same indirection a real driver performs with `netdev_priv`).
+//! `e1000_probe(dev)` selects slot `dev`, and the `*_dev` entry points
+//! (`e1000_xmit_frame_dev`, `e1000_xmit_batch_dev`,
+//! `e1000_poll_rx_batch_dev`, `e1000_intr_dev`) take a trailing device id
+//! that re-selects the slot before tail-jumping into the shared body, so
+//! one driver image serves N NICs with fully isolated per-device state.
+//! The classic entries are untouched — single-NIC costs are identical.
+//!
+//! Control-path entries without a device argument (`e1000_close`,
+//! `e1000_get_stats`, `e1000_set_mac`, `e1000_update_stats`, …) operate
+//! on the slot selected through `e1000_set_device(dev)`; the watchdog is
+//! armed once per device with the device index as its timer data, so
+//! each NIC's periodic link check runs against its own slot no matter
+//! what the fast path selected last.
 
 /// Number of descriptors per ring (one 4 KiB page of 16-byte descriptors
 /// would be 256; we use 128 and a 2 KiB ring, still page-contiguous).
 pub const RING_SIZE: u32 = 128;
+
+/// Maximum NICs one driver image can serve: the `.data` section reserves
+/// this many adapter slots (the paper's testbed drove 5 NICs from one
+/// driver; we round up to a power of two).
+pub const MAX_NICS: usize = 8;
+
+/// Bytes between consecutive adapter slots in the `adapter` array
+/// (`adapter + dev * ADAPTER_STRIDE` is device `dev`'s struct).
+pub const ADAPTER_STRIDE: u64 = 128;
 
 /// Adapter struct field offsets (see the `.data` section in [`source`]).
 pub mod adapter {
@@ -253,7 +279,7 @@ const CODE: &str = r#"
 e1000_fill_desc:
     pushl %ebp
     movl %esp, %ebp
-    movl $adapter, %ecx
+    movl cur_adapter, %ecx
     movl 8(%ecx), %ecx          # tx_ring
     movl 8(%ebp), %eax          # idx
     shll $4, %eax
@@ -279,7 +305,7 @@ e1000_clean_tx:
     pushl %ebx
     pushl %esi
     pushl %edi
-    movl $adapter, %ebx
+    movl cur_adapter, %ebx
     movl 24(%ebx), %esi         # next_clean
 .Lctx_loop:
     cmpl 20(%ebx), %esi         # caught up with next_use?
@@ -341,7 +367,7 @@ e1000_xmit_fill:
     pushl %ebx
     pushl %esi
     pushl %edi
-    movl $adapter, %ebx
+    movl cur_adapter, %ebx
     movl 8(%ebp), %edi          # skb
     movl 20(%ebx), %esi         # next_use
     # free descriptors = (next_clean - next_use - 1) mod ring; a packet
@@ -454,8 +480,8 @@ e1000_xmit_frame:
     movl %esp, %ebp
     pushl %ebx
     pushl %esi
-    movl $adapter, %ebx
-    movl $adapter, %eax
+    movl cur_adapter, %ebx
+    movl cur_adapter, %eax
     addl $48, %eax
     pushl %eax
     call spin_trylock
@@ -473,7 +499,7 @@ e1000_xmit_frame:
     movl 20(%ebx), %eax
     movl %eax, 0x3818(%ecx)     # TDT: the posted doorbell write
 .Lxmit_nokick:
-    movl $adapter, %eax
+    movl cur_adapter, %eax
     addl $48, %eax
     pushl $0
     pushl %eax
@@ -501,8 +527,8 @@ e1000_xmit_batch:
     movl %esp, %ebp
     pushl %ebx
     pushl %esi
-    movl $adapter, %ebx
-    movl $adapter, %eax
+    movl cur_adapter, %ebx
+    movl cur_adapter, %eax
     addl $48, %eax
     pushl %eax
     call spin_trylock
@@ -533,7 +559,7 @@ e1000_xmit_batch:
     movl 20(%ebx), %eax
     movl %eax, 0x3818(%ecx)     # single doorbell for the whole burst
 .Lxb_unlock:
-    movl $adapter, %eax
+    movl cur_adapter, %eax
     addl $48, %eax
     pushl $0
     pushl %eax
@@ -561,7 +587,7 @@ e1000_clean_rx:
     pushl %ebx
     pushl %esi
     pushl %edi
-    movl $adapter, %ebx
+    movl cur_adapter, %ebx
     movl $0, 120(%ebx)          # reap count for this pass
     movl 44(%ebx), %esi         # rx next_clean
 .Lcrx_loop:
@@ -670,6 +696,60 @@ e1000_poll_rx_batch:
     ret
 
 # ---------------------------------------------------------------------
+# e1000_set_device(devid): select the adapter slot that subsequent
+# entry-point invocations operate on (cur_adapter = adapter + devid*128).
+# ---------------------------------------------------------------------
+    .globl e1000_set_device
+e1000_set_device:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    shll $7, %eax
+    addl $adapter, %eax
+    movl %eax, cur_adapter
+    popl %ebp
+    ret
+
+# ---------------------------------------------------------------------
+# Device-id-taking fast-path entries for the multi-NIC sharded datapath:
+# each selects its adapter slot, then tail-jumps into the shared body.
+# The extra trailing devid argument is invisible to the body (cdecl: the
+# caller owns the frame). Single-NIC callers keep using the classic
+# entries, whose cost is unchanged.
+# ---------------------------------------------------------------------
+    .globl e1000_xmit_frame_dev
+e1000_xmit_frame_dev:           # (skb, netdev, devid)
+    movl 12(%esp), %eax
+    shll $7, %eax
+    addl $adapter, %eax
+    movl %eax, cur_adapter
+    jmp e1000_xmit_frame
+
+    .globl e1000_xmit_batch_dev
+e1000_xmit_batch_dev:           # (array, count, netdev, devid)
+    movl 16(%esp), %eax
+    shll $7, %eax
+    addl $adapter, %eax
+    movl %eax, cur_adapter
+    jmp e1000_xmit_batch
+
+    .globl e1000_poll_rx_batch_dev
+e1000_poll_rx_batch_dev:        # (netdev, devid)
+    movl 8(%esp), %eax
+    shll $7, %eax
+    addl $adapter, %eax
+    movl %eax, cur_adapter
+    jmp e1000_poll_rx_batch
+
+    .globl e1000_intr_dev
+e1000_intr_dev:                 # (netdev, devid)
+    movl 8(%esp), %eax
+    shll $7, %eax
+    addl $adapter, %eax
+    movl %eax, cur_adapter
+    jmp e1000_intr
+
+# ---------------------------------------------------------------------
 # e1000_intr(dev): interrupt service routine.
 # ---------------------------------------------------------------------
     .globl e1000_intr
@@ -678,7 +758,7 @@ e1000_intr:
     movl %esp, %ebp
     pushl %ebx
     pushl %esi
-    movl $adapter, %ebx
+    movl cur_adapter, %ebx
     incl 88(%ebx)
     movl (%ebx), %ecx
     movl 0xC0(%ecx), %esi       # ICR (read-to-clear)
@@ -690,7 +770,7 @@ e1000_intr:
 .Lintr_tx:
     testl $1, %esi              # TXDW
     je .Lintr_out
-    movl $adapter, %eax
+    movl cur_adapter, %eax
     addl $48, %eax
     pushl %eax
     call spin_trylock
@@ -698,7 +778,7 @@ e1000_intr:
     cmpl $0, %eax
     je .Lintr_out
     call e1000_clean_tx
-    movl $adapter, %eax
+    movl cur_adapter, %eax
     addl $48, %eax
     pushl $0
     pushl %eax
@@ -720,7 +800,7 @@ e1000_alloc_rx_buffers:
     pushl %ebx
     pushl %esi
     pushl %edi
-    movl $adapter, %ebx
+    movl cur_adapter, %ebx
     movl $0, %esi
 .Larb_loop:
     cmpl $128, %esi
@@ -764,7 +844,7 @@ e1000_open:
     pushl %ebp
     movl %esp, %ebp
     pushl %ebx
-    movl $adapter, %ebx
+    movl cur_adapter, %ebx
     movl (%ebx), %ecx
     movl 12(%ebx), %eax
     movl %eax, 0x3800(%ecx)     # TDBAL
@@ -809,7 +889,7 @@ e1000_close:
     pushl %ebp
     movl %esp, %ebp
     pushl %ebx
-    movl $adapter, %ebx
+    movl cur_adapter, %ebx
     movl (%ebx), %ecx
     movl $0xffffffff, %eax
     movl %eax, 0xD8(%ecx)       # IMC: mask everything
@@ -835,7 +915,7 @@ e1000_update_stats:
     pushl %ebp
     movl %esp, %ebp
     pushl %ebx
-    movl $adapter, %ebx
+    movl cur_adapter, %ebx
     movl (%ebx), %ecx
     movl 0x4074(%ecx), %eax     # GPRC
     movl %eax, 100(%ebx)
@@ -848,14 +928,21 @@ e1000_update_stats:
     ret
 
 # ---------------------------------------------------------------------
-# e1000_watchdog(data): periodic link check + stats refresh.
+# e1000_watchdog(data): periodic link check + stats refresh. The timer
+# data is this device's index (probe arms one timer per NIC), so the
+# watchdog always operates on its own adapter slot regardless of which
+# device the fast path last selected.
 # ---------------------------------------------------------------------
     .globl e1000_watchdog
 e1000_watchdog:
     pushl %ebp
     movl %esp, %ebp
     pushl %ebx
-    movl $adapter, %ebx
+    movl 8(%ebp), %eax
+    shll $7, %eax
+    addl $adapter, %eax
+    movl %eax, cur_adapter
+    movl cur_adapter, %ebx
     incl 84(%ebx)
     movl (%ebx), %ecx
     # read the PHY BMSR through MDIC: issue read op, poll READY
@@ -877,10 +964,11 @@ e1000_watchdog:
     addl $4, %esp
 .Lwd_nolink:
     call e1000_update_stats
+    pushl 8(%ebp)               # re-arm with this device's index
     pushl $e1000_watchdog
     pushl $100
     call mod_timer
-    addl $8, %esp
+    addl $12, %esp
     popl %ebx
     popl %ebp
     ret
@@ -890,7 +978,7 @@ e1000_watchdog:
 # ---------------------------------------------------------------------
     .globl e1000_get_stats
 e1000_get_stats:
-    movl $adapter, %eax
+    movl cur_adapter, %eax
     addl $60, %eax
     ret
 
@@ -902,7 +990,7 @@ e1000_set_mac:
     pushl %ebp
     movl %esp, %ebp
     pushl %ebx
-    movl $adapter, %ebx
+    movl cur_adapter, %ebx
     movl 12(%ebp), %edx         # addr buffer
     movl (%edx), %eax
     movl (%ebx), %ecx
@@ -1039,7 +1127,13 @@ e1000_probe:
     pushl %ebx
     pushl %esi
     pushl %edi
-    movl $adapter, %ebx
+    # the device index selects this device's adapter slot; every later
+    # entry point reaches the same slot through cur_adapter
+    movl 8(%ebp), %eax
+    shll $7, %eax               # * ADAPTER_STRIDE (128)
+    addl $adapter, %eax
+    movl %eax, cur_adapter
+    movl cur_adapter, %ebx
     pushl 8(%ebp)
     call pci_enable_device
     addl $4, %esp
@@ -1079,7 +1173,7 @@ e1000_probe:
     cmpl $3, %esi
     jge .Lprobe_eeprom_next
     # stash MAC words into the adapter (92 + 2*i)
-    movl $adapter, %edx
+    movl cur_adapter, %edx
     addl $92, %edx
     movl %esi, %eax
     addl %eax, %eax
@@ -1105,14 +1199,14 @@ e1000_probe:
     movl 0x5404(%ecx), %eax
     movl %eax, 96(%ebx)
     # descriptor rings (DMA-coherent)
-    movl $adapter, %eax
+    movl cur_adapter, %eax
     addl $12, %eax
     pushl %eax
     pushl $2048
     call dma_alloc_coherent
     addl $8, %esp
     movl %eax, 8(%ebx)          # tx_ring VA
-    movl $adapter, %eax
+    movl cur_adapter, %eax
     addl $32, %eax
     pushl %eax
     pushl $2048
@@ -1143,7 +1237,7 @@ e1000_probe:
     movl $0, 24(%ebx)
     movl $0, 40(%ebx)
     movl $0, 44(%ebx)
-    movl $adapter, %eax
+    movl cur_adapter, %eax
     addl $48, %eax
     pushl %eax
     call spin_lock_init
@@ -1152,10 +1246,11 @@ e1000_probe:
     pushl $0
     call init_timer
     addl $4, %esp
+    pushl 8(%ebp)               # timer data: this device's index
     pushl $e1000_watchdog
     pushl $100
     call mod_timer
-    addl $8, %esp
+    addl $12, %esp
     pushl $e1000_intr
     pushl 8(%ebp)
     call request_irq
@@ -1183,7 +1278,10 @@ const DATA: &str = r#"
     .align 4
     .globl adapter
 adapter:
-    .zero 128
+    .zero 1024                  # MAX_NICS (8) slots of ADAPTER_STRIDE (128)
+    .globl cur_adapter
+cur_adapter:
+    .long adapter               # active slot (slot 0 until a probe/select)
     .globl e1000_netdev_ops
 e1000_netdev_ops:
     .long e1000_open
@@ -1229,6 +1327,11 @@ mod tests {
             "e1000_clean_tx",
             "e1000_watchdog",
             "e1000_get_stats",
+            "e1000_set_device",
+            "e1000_xmit_frame_dev",
+            "e1000_xmit_batch_dev",
+            "e1000_poll_rx_batch_dev",
+            "e1000_intr_dev",
         ] {
             assert!(m.labels.contains_key(f), "missing {f}");
             assert!(m.globals.contains(f));
@@ -1237,6 +1340,27 @@ mod tests {
         // Function-pointer tables are relocated data.
         assert!(m.data.relocs.iter().any(|r| r.symbol == "e1000_xmit_frame"));
     }
+
+    #[test]
+    fn adapter_array_holds_max_nics_slots() {
+        let m = assemble("e1000", &source()).unwrap();
+        let adapter = m.data.symbols["adapter"];
+        let cur = m.data.symbols["cur_adapter"];
+        assert_eq!(
+            cur - adapter,
+            MAX_NICS as u64 * ADAPTER_STRIDE,
+            "cur_adapter sits right after the slot array"
+        );
+        // cur_adapter is initialised (via a data reloc) to slot 0.
+        assert!(m
+            .data
+            .relocs
+            .iter()
+            .any(|r| r.offset == cur && r.symbol == "adapter"));
+    }
+
+    // Every adapter field fits inside one slot.
+    const _: () = assert!(adapter::RX_REAPED < ADAPTER_STRIDE);
 
     #[test]
     fn driver_calls_a_large_support_surface() {

@@ -434,7 +434,7 @@ mod tests {
             ExecMode::Guest,
             stack_top(),
             due[0].handler,
-            &[0],
+            &[due[0].data as u32],
             1_000_000,
         )
         .unwrap();
@@ -600,6 +600,226 @@ mod tests {
             "config path touches {} routines",
             config.len()
         );
+    }
+
+    /// Brings up `n` NICs through the same driver image, one adapter
+    /// slot each (the multi-NIC sharded datapath's kernel-level
+    /// contract).
+    fn bring_up_multi(n: u32) -> (Machine, NativeWorld, SpaceId, LoadedDriver, Vec<u64>) {
+        let module = assemble("e1000", &e1000::source()).unwrap();
+        let mut m = Machine::new();
+        let dom0 = m.new_space();
+        for dev in 0..n as u64 {
+            for p in 0..(MMIO_WINDOW / PAGE_SIZE) {
+                m.space_mut(dom0).map(
+                    MMIO_BASE + dev * MMIO_WINDOW + p * PAGE_SIZE,
+                    PageEntry::mmio(dev as u32, p),
+                );
+            }
+        }
+        m.map_stack(dom0, DOM0_STACK_BASE, DOM0_STACK_PAGES)
+            .unwrap();
+        let kernel = Dom0Kernel::new(&mut m, dom0, 512).unwrap();
+        let nics = (0..n).map(|d| Nic::new(d, MacAddr::for_guest(d))).collect();
+        let mut world = NativeWorld { kernel, nics };
+        let driver =
+            load_driver(&mut m, dom0, &module, 0x0800_0000, 0x2800_0000, |_| None).unwrap();
+        let mut netdevs = Vec::new();
+        for dev in 0..n {
+            let probe = driver.entry("e1000_probe").unwrap();
+            let r = call_function(
+                &mut m,
+                &mut world,
+                dom0,
+                ExecMode::Guest,
+                stack_top(),
+                probe,
+                &[dev],
+                5_000_000,
+            )
+            .unwrap();
+            assert_eq!(r, 0, "probe({dev}) succeeds");
+            let netdev = world.kernel.registered_netdevs[dev as usize];
+            netdevs.push(netdev);
+            let open = driver.entry("e1000_open").unwrap();
+            let r = call_function(
+                &mut m,
+                &mut world,
+                dom0,
+                ExecMode::Guest,
+                stack_top(),
+                open,
+                &[netdev as u32],
+                50_000_000,
+            )
+            .unwrap();
+            assert_eq!(r, 0, "open({dev}) succeeds");
+        }
+        (m, world, dom0, driver, netdevs)
+    }
+
+    #[test]
+    fn two_nics_keep_isolated_adapter_state() {
+        let (mut m, mut world, dom0, driver, netdevs) = bring_up_multi(2);
+        // Both devices have independently programmed rings.
+        assert_eq!(world.nics[0].rx_free_descriptors(), 127);
+        assert_eq!(world.nics[1].rx_free_descriptors(), 127);
+        assert_eq!(world.kernel.irq_handlers.len(), 2, "one IRQ line per NIC");
+        // Transmit through the dev-id entry points, interleaved.
+        let xmit = driver.entry("e1000_xmit_frame_dev").unwrap();
+        for i in 0..6u64 {
+            let dev = (i % 2) as u32;
+            let skb = world.kernel.pool.alloc(&mut m, dom0).unwrap();
+            let f = Frame::data(MacAddr::for_guest(7), MacAddr::for_guest(dev), dev + 1, i);
+            skb.fill_from_frame(&mut m, dom0, &f).unwrap();
+            let r = call_function(
+                &mut m,
+                &mut world,
+                dom0,
+                ExecMode::Guest,
+                stack_top(),
+                xmit,
+                &[skb.0 as u32, netdevs[dev as usize] as u32, dev],
+                1_000_000,
+            )
+            .unwrap();
+            assert_eq!(r, 0, "xmit on dev {dev} ok");
+        }
+        // Each NIC saw exactly its own half, in order.
+        for dev in 0..2u32 {
+            let sent = world.nics[dev as usize].take_tx_frames();
+            assert_eq!(sent.len(), 3, "dev {dev}");
+            assert!(sent.iter().all(|f| f.flow == dev + 1));
+            assert!(sent.windows(2).all(|w| w[0].seq < w[1].seq));
+        }
+        // Per-slot statistics never bleed across devices.
+        let adapter = driver.data_symbol("adapter").unwrap();
+        for dev in 0..2u64 {
+            let tx_packets = m
+                .read_u32(
+                    dom0,
+                    ExecMode::Guest,
+                    adapter + dev * e1000::ADAPTER_STRIDE + e1000::adapter::TX_PACKETS,
+                )
+                .unwrap();
+            assert_eq!(tx_packets, 3, "dev {dev} counted only its own frames");
+        }
+    }
+
+    #[test]
+    fn per_device_receive_via_dev_entries() {
+        let (mut m, mut world, dom0, driver, netdevs) = bring_up_multi(2);
+        // Deliver different bursts to each NIC, then reap per device.
+        for dev in 0..2u32 {
+            let mac = world.nics[dev as usize].mac();
+            let frames: Vec<Frame> = (0..(3 + dev as u64))
+                .map(|i| Frame::data(mac, MacAddr::for_guest(9), dev, i))
+                .collect();
+            assert_eq!(
+                world.nics[dev as usize].deliver_batch(&mut m.phys, &frames),
+                frames.len()
+            );
+        }
+        let poll = driver.entry("e1000_poll_rx_batch_dev").unwrap();
+        let mut total = 0;
+        for dev in 0..2u32 {
+            let r = call_function(
+                &mut m,
+                &mut world,
+                dom0,
+                ExecMode::Guest,
+                stack_top(),
+                poll,
+                &[netdevs[dev as usize] as u32, dev],
+                10_000_000,
+            )
+            .unwrap();
+            assert_eq!(r, 3 + dev, "dev {dev} reaps its own descriptors only");
+            total += r;
+        }
+        assert_eq!(world.kernel.rx_delivered.len() as u32, total);
+        // Both rings fully replenished from their own slots.
+        assert_eq!(world.nics[0].rx_free_descriptors(), 127);
+        assert_eq!(world.nics[1].rx_free_descriptors(), 127);
+    }
+
+    #[test]
+    fn each_nic_gets_its_own_watchdog_timer() {
+        // Probe arms one watchdog per device (timer data = device
+        // index); firing each one updates only its own adapter slot,
+        // no matter which device the datapath selected last.
+        let (mut m, mut world, dom0, driver, netdevs) = bring_up_multi(2);
+        let _ = netdevs;
+        assert_eq!(world.kernel.timers.len(), 2, "one watchdog per NIC");
+        world.kernel.tick = 100;
+        let due = world.kernel.take_due_timers();
+        assert_eq!(due.len(), 2);
+        for t in &due {
+            call_function(
+                &mut m,
+                &mut world,
+                dom0,
+                ExecMode::Guest,
+                stack_top(),
+                t.handler,
+                &[t.data as u32],
+                1_000_000,
+            )
+            .unwrap();
+        }
+        let adapter = driver.data_symbol("adapter").unwrap();
+        for dev in 0..2u64 {
+            let runs = m
+                .read_u32(
+                    dom0,
+                    ExecMode::Guest,
+                    adapter + dev * e1000::ADAPTER_STRIDE + e1000::adapter::WATCHDOG_RUNS,
+                )
+                .unwrap();
+            assert_eq!(runs, 1, "dev {dev} watchdog ran exactly once");
+        }
+        // Both re-armed independently.
+        assert_eq!(world.kernel.timers.len(), 2, "watchdogs re-armed");
+    }
+
+    #[test]
+    fn set_device_selects_the_slot_for_control_path_entries() {
+        // Control-path entries without a device-id argument (get_stats,
+        // update_stats, close, …) operate on the slot selected through
+        // `e1000_set_device` — the documented multi-NIC contract.
+        let (mut m, mut world, dom0, driver, _netdevs) = bring_up_multi(2);
+        let set_device = driver.entry("e1000_set_device").unwrap();
+        let get_stats = driver.entry("e1000_get_stats").unwrap();
+        let adapter = driver.data_symbol("adapter").unwrap();
+        for dev in 0..2u32 {
+            call_function(
+                &mut m,
+                &mut world,
+                dom0,
+                ExecMode::Guest,
+                stack_top(),
+                set_device,
+                &[dev],
+                100_000,
+            )
+            .unwrap();
+            let stats_ptr = call_function(
+                &mut m,
+                &mut world,
+                dom0,
+                ExecMode::Guest,
+                stack_top(),
+                get_stats,
+                &[0],
+                100_000,
+            )
+            .unwrap();
+            assert_eq!(
+                stats_ptr as u64,
+                adapter + dev as u64 * e1000::ADAPTER_STRIDE + e1000::adapter::TX_PACKETS,
+                "dev {dev}'s stats block"
+            );
+        }
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub struct Timer {
     pub handler: u64,
     /// Absolute tick at which it fires.
     pub expires_at: u64,
+    /// Cookie passed to the handler when it fires (Linux
+    /// `timer_list.data`; the e1000 watchdog stores its device index so
+    /// each NIC's timer operates on its own adapter slot).
+    pub data: u64,
 }
 
 /// What dom0 does with packets the driver hands to `netif_rx`.
@@ -382,10 +386,16 @@ impl Dom0Kernel {
             "mod_timer" => {
                 let delta = cpu.arg(m, 0)? as u64;
                 let handler = cpu.arg(m, 1)? as u64;
-                self.timers.retain(|t| t.handler != handler);
+                let data = cpu.arg(m, 2)? as u64;
+                // Re-arming replaces the matching timer only: the same
+                // handler armed with different data (one watchdog per
+                // NIC) coexists.
+                self.timers
+                    .retain(|t| !(t.handler == handler && t.data == data));
                 self.timers.push(Timer {
                     handler,
                     expires_at: self.tick + delta,
+                    data,
                 });
                 ret(cpu, 0);
             }
@@ -670,10 +680,12 @@ mod tests {
         k.timers.push(Timer {
             handler: 0x100,
             expires_at: 5,
+            data: 0,
         });
         k.timers.push(Timer {
             handler: 0x200,
             expires_at: 10,
+            data: 1,
         });
         k.tick = 4;
         assert!(k.take_due_timers().is_empty());

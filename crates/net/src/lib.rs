@@ -40,6 +40,13 @@ impl MacAddr {
         MacAddr([0x02, 0x16, 0x3e, (n >> 16) as u8, (n >> 8) as u8, n as u8])
     }
 
+    /// A deterministic locally-administered address for physical NIC `n`
+    /// (distinct OUI byte from the guest range, so hardware and guest
+    /// identities never collide in demultiplexing tests).
+    pub fn for_nic(n: u32) -> MacAddr {
+        MacAddr([0x02, 0x16, 0x4e, (n >> 16) as u8, (n >> 8) as u8, n as u8])
+    }
+
     /// Whether this is the broadcast address.
     pub fn is_broadcast(self) -> bool {
         self == MacAddr::BROADCAST

@@ -242,6 +242,31 @@ mod tests {
     }
 
     #[test]
+    fn softirq_coalescing_is_per_device() {
+        // Each NIC is its own softirq source: duplicates coalesce only
+        // within a device, and one pass carries every raised device in
+        // raise order.
+        let (_m, mut xen) = mk();
+        xen.raise_softirq(Softirq::DriverIrq { nic: 0 });
+        xen.raise_softirq(Softirq::DriverIrq { nic: 1 });
+        xen.raise_softirq(Softirq::DriverIrq { nic: 0 });
+        xen.raise_softirq(Softirq::DriverIrq { nic: 2 });
+        xen.raise_softirq(Softirq::DriverIrq { nic: 1 });
+        assert_eq!(xen.softirqs.len(), 3, "three devices pending");
+        assert_eq!(xen.softirqs_coalesced, 2, "per-device duplicates only");
+        let work = xen.take_runnable_softirqs();
+        assert_eq!(
+            work,
+            vec![
+                Softirq::DriverIrq { nic: 0 },
+                Softirq::DriverIrq { nic: 1 },
+                Softirq::DriverIrq { nic: 2 },
+            ]
+        );
+        assert!(xen.softirqs.is_empty());
+    }
+
+    #[test]
     fn grant_ops_count() {
         let (mut m, mut xen) = mk();
         xen.grant_map(&mut m);

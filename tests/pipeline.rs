@@ -104,7 +104,7 @@ fn config_ops_run_in_vm_instance_while_fast_path_runs_in_hypervisor() {
             ExecMode::Guest,
             stack,
             t.handler,
-            &[0],
+            &[t.data as u32],
             2_000_000,
         )
         .unwrap();
