@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for the shard sweep.
+"""Bench-regression gate for the sweep harnesses.
 
-Compares a freshly produced BENCH_shard.json against the committed
-bench/baseline.json and fails (exit 1) when any sweep point's amortized
-cycles/packet regresses by more than the tolerance (default 10%), or
-when a sweep point disappears. Improvements and new points pass; a
-clearly better run should be accompanied by a refreshed baseline
-(regenerate with `TWIN_BENCH_PACKETS=64 cargo bench -p twin-bench
---bench shard_sweep && cp BENCH_shard.json bench/baseline.json`).
+Compares a freshly produced sweep JSON (BENCH_shard.json,
+BENCH_upcall.json) against its committed baseline and fails (exit 1)
+when any sweep point's amortized cycles/packet regresses by more than
+the tolerance (default 10%), or when a sweep point disappears. Sweep
+points present in the current run but absent from the baseline are
+reported as warnings — new sweeps should land with a refreshed baseline
+so they are gated from day one. Improvements pass; a clearly better run
+should be accompanied by a refreshed baseline (regenerate with e.g.
+`TWIN_BENCH_PACKETS=64 cargo bench -p twin-bench --bench shard_sweep &&
+cp BENCH_shard.json bench/baseline.json`).
+
+Entries are keyed by their identity fields (config, nics, burst,
+upcalls, mode — whichever are present) and compared on every
+`*_cycles_per_packet` field both sides share.
 
 Usage: check_regression.py BASELINE CURRENT [--tolerance 0.10]
 """
@@ -16,13 +23,26 @@ import argparse
 import json
 import sys
 
+# Fields that identify a sweep point; everything else is a measurement.
+ID_FIELDS = ("config", "nics", "burst", "upcalls", "mode")
+
+
+def key_of(entry):
+    return tuple((f, entry[f]) for f in ID_FIELDS if f in entry)
+
+
+def label_of(key):
+    return " ".join(f"{f}={v}" for f, v in key)
+
+
+def metrics_of(entry):
+    return sorted(f for f in entry if f.endswith("_cycles_per_packet"))
+
 
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    return {
-        (e["config"], e["nics"], e["burst"]): e for e in data["entries"]
-    }, data.get("packets")
+    return {key_of(e): e for e in data["entries"]}, data.get("packets")
 
 
 def main():
@@ -42,11 +62,14 @@ def main():
     failures = []
     for key, b in sorted(base.items()):
         c = cur.get(key)
-        label = f"config={key[0]} nics={key[1]} burst={key[2]}"
+        label = label_of(key)
         if c is None:
             failures.append(f"{label}: sweep point missing from current run")
             continue
-        for field in ("tx_cycles_per_packet", "rx_cycles_per_packet"):
+        for field in metrics_of(b):
+            if field not in c:
+                failures.append(f"{label}: field {field} missing from current run")
+                continue
             old, new = b[field], c[field]
             limit = old * (1.0 + args.tolerance)
             delta = (new - old) / old if old else 0.0
@@ -57,13 +80,19 @@ def main():
                     f"{label}: {field} regressed {delta:+.1%} "
                     f"({old:.1f} -> {new:.1f}, limit {args.tolerance:.0%})")
 
+    # Unknown points are not gated — surface them so the baseline gets
+    # refreshed instead of silently leaving new sweeps unprotected.
+    unknown = [k for k in cur if k not in base]
+    for k in sorted(unknown):
+        print(f"  WARN  {label_of(k)}: not in baseline (ungated; refresh the baseline)")
+
     if failures:
         print(f"\nbench regression gate FAILED ({len(failures)} issue(s)):")
         for f in failures:
             print(f"  - {f}")
         return 1
     print(f"\nbench regression gate passed ({len(base)} sweep points, "
-          f"tolerance {args.tolerance:.0%})")
+          f"{len(unknown)} ungated warning(s), tolerance {args.tolerance:.0%})")
     return 0
 
 

@@ -1,0 +1,108 @@
+//! Deferred-upcall sweep: transmit throughput and upcall
+//! cycles-to-completion percentiles, sweeping the number of forced
+//! upcalls at burst 32 in both upcall modes.
+//!
+//! Not a paper figure — this extends Figure 10 with the deferred-upcall
+//! engine: queued, batch-executed dom0 upcalls with completions turn the
+//! per-call switch-pair into a per-flush one. Acceptance: at 4+ forced
+//! upcalls the deferred path sustains **≥ 3×** the synchronous Mb/s,
+//! while the synchronous path stays the PR 2 regime bit for bit.
+//!
+//! Besides the human-readable table, the sweep writes
+//! **`BENCH_upcall.json`** (workspace root) so CI's bench-regression
+//! gate can track both modes against `bench/baseline_upcall.json`.
+
+use twin_bench::{banner, packets};
+use twindrivers::measure::upcall_latency;
+use twindrivers::{throughput, Config, System, SystemOptions, UpcallMode, TESTBED_NICS};
+
+const UPCALL_COUNTS: [usize; 6] = [0, 1, 2, 4, 6, 9];
+const BURST: usize = 32;
+
+struct Point {
+    upcalls: usize,
+    mode: &'static str,
+    cycles_per_packet: f64,
+    mbps: f64,
+    p50: u64,
+    p99: u64,
+    flushes: u64,
+}
+
+fn measure(n: usize, mode: UpcallMode, pkts: u64) -> Point {
+    let opts = SystemOptions {
+        upcall_count: n,
+        upcall_mode: mode,
+        ..SystemOptions::default()
+    };
+    let mut sys = System::build_with(Config::TwinDrivers, &opts).expect("build");
+    let b = sys.measure_tx_burst(BURST, pkts).expect("sweep point");
+    let lat = upcall_latency(&sys);
+    Point {
+        upcalls: n,
+        mode: match mode {
+            UpcallMode::Sync => "sync",
+            UpcallMode::Deferred => "deferred",
+        },
+        cycles_per_packet: b.breakdown.total(),
+        mbps: throughput(b.breakdown.total(), TESTBED_NICS).mbps,
+        p50: lat.p50,
+        p99: lat.p99,
+        flushes: sys.machine.meter.event("upcall_flush"),
+    }
+}
+
+fn json_entry(p: &Point) -> String {
+    format!(
+        concat!(
+            "    {{\"config\": \"domU-twin\", \"burst\": {}, \"upcalls\": {}, ",
+            "\"mode\": \"{}\", \"tx_cycles_per_packet\": {:.1}, \"tx_mbps\": {:.1}, ",
+            "\"p50_cycles\": {}, \"p99_cycles\": {}}}"
+        ),
+        BURST, p.upcalls, p.mode, p.cycles_per_packet, p.mbps, p.p50, p.p99,
+    )
+}
+
+fn main() {
+    banner(
+        "Upcall sweep — deferred vs synchronous upcalls at burst 32",
+        "repo extension (Fig 10, §4.2); acceptance: >= 3x Mb/s at 4+ forced upcalls",
+    );
+    let pkts = packets();
+    let mut entries: Vec<String> = Vec::new();
+    let mut worst_speedup_4plus = f64::INFINITY;
+    println!(
+        "  {:>7} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
+        "upcalls", "sync Mb/s", "defer Mb/s", "speedup", "p50 cyc", "p99 cyc", "flushes"
+    );
+    for n in UPCALL_COUNTS {
+        let sync = measure(n, UpcallMode::Sync, pkts);
+        let defer = measure(n, UpcallMode::Deferred, pkts);
+        let speedup = defer.mbps / sync.mbps.max(1.0);
+        if n >= 4 {
+            worst_speedup_4plus = worst_speedup_4plus.min(speedup);
+        }
+        println!(
+            "  {:>7} {:>12.0} {:>12.0} {:>8.2}x {:>12} {:>12} {:>9}",
+            n, sync.mbps, defer.mbps, speedup, defer.p50, defer.p99, defer.flushes
+        );
+        entries.push(json_entry(&sync));
+        entries.push(json_entry(&defer));
+    }
+    println!(
+        "\n  worst deferred/sync speedup at >= 4 upcalls: {worst_speedup_4plus:.2}x (acceptance >= 3x)"
+    );
+
+    let json = format!(
+        "{{\n  \"packets\": {},\n  \"burst\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        pkts,
+        BURST,
+        entries.join(",\n"),
+    );
+    // Anchor at the workspace root regardless of cargo's bench cwd.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_upcall.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("  wrote BENCH_upcall.json ({} sweep points)", entries.len()),
+        Err(e) => eprintln!("  could not write {out}: {e}"),
+    }
+}

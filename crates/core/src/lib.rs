@@ -78,6 +78,26 @@
 //! a single NIC is the degenerate case and reproduces PR 1's burst
 //! figures cycle for cycle.
 //!
+//! ## The deferred-upcall engine
+//!
+//! Support routines the hypervisor does not implement natively upcall
+//! to dom0 at two domain switches per call (paper §4.2, Figure 10).
+//! With [`SystemOptions::upcall_mode`] set to
+//! [`UpcallMode::Deferred`], eligible calls are instead queued in the
+//! ring at [`twin_xen::UPCALL_RING_BASE`] — per the
+//! [`twin_kernel::TABLE1_DEFER_POLICY`] class: fire-and-forget
+//! side effects defer outright, inline-consumed results suspend the
+//! burst via a continuation — and dom0 drains the whole ring in **one**
+//! switch-pair at the end of each burst pass (or on queue-full /
+//! high-water kick), posting completions back through the event
+//! channel. At burst 32 with four or more routines forced onto the
+//! upcall path this sustains ≥ 3× the synchronous throughput, while
+//! [`UpcallMode::Sync`] (the default) stays cycle-exact with the PR 2
+//! path; [`measure::upcall_latency`] reports p50/p99
+//! cycles-to-completion so the latency cost of deferral stays visible
+//! (`cargo bench -p twin-bench --bench upcall_sweep` emits
+//! `BENCH_upcall.json`).
+//!
 //! ```no_run
 //! use twindrivers::{Config, System};
 //!
@@ -100,11 +120,11 @@ pub mod system;
 
 pub use iommu::Iommu;
 pub use measure::{
-    measure_aggregate_throughput, throughput, AggregateThroughput, Breakdown, BurstMeasurement,
-    Throughput, CPU_HZ, TESTBED_NICS,
+    measure_aggregate_throughput, percentile, throughput, upcall_latency, AggregateThroughput,
+    Breakdown, BurstMeasurement, LatencyStats, Throughput, CPU_HZ, TESTBED_NICS,
 };
 pub use system::{
-    peer_mac, Config, ShardPolicy, System, SystemError, SystemOptions, World, MAX_BURST,
+    peer_mac, Config, ShardPolicy, System, SystemError, SystemOptions, UpcallMode, World, MAX_BURST,
 };
 
 // Re-export the substrate crates so downstream users (workloads, benches,

@@ -90,6 +90,64 @@ impl BurstMeasurement {
     }
 }
 
+/// Latency percentiles over a set of cycles-to-completion samples —
+/// the groundwork adaptive interrupt moderation needs, and the metric
+/// that keeps upcall deferral honest: throughput may rise only while the
+/// tail stays bounded.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub samples: usize,
+    /// Median cycles-to-completion.
+    pub p50: u64,
+    /// 99th-percentile cycles-to-completion.
+    pub p99: u64,
+    /// Worst observed.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Computes nearest-rank percentiles over `samples` (any order).
+    /// All-zero on an empty set.
+    pub fn from_samples(samples: &[u64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        LatencyStats {
+            samples: sorted.len(),
+            p50: percentile(&sorted, 50.0),
+            p99: percentile(&sorted, 99.0),
+            max: *sorted.last().unwrap(),
+        }
+    }
+
+    /// One report row.
+    pub fn row(&self) -> String {
+        format!(
+            "upcall latency  p50 {:>8} cyc   p99 {:>8} cyc   max {:>8} cyc   ({} samples)",
+            self.p50, self.p99, self.max, self.samples
+        )
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`p` in 0..=100).
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Latency percentiles of every upcall completed in the current
+/// measurement window of `sys` (empty stats outside TwinDrivers or when
+/// no upcalls ran).
+pub fn upcall_latency(sys: &System) -> LatencyStats {
+    LatencyStats::from_samples(sys.upcall_latency_samples())
+}
+
 /// Result of converting a per-packet cost into netperf-style throughput.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Throughput {
@@ -249,6 +307,33 @@ mod tests {
         // ~21159 (baseline domU) lands near 1619.
         let t = throughput(21159.0, 5);
         assert!((1400.0..2100.0).contains(&t.mbps), "{}", t.mbps);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&[], 50.0), 0);
+        let one = [42u64];
+        assert_eq!(percentile(&one, 50.0), 42);
+        assert_eq!(percentile(&one, 99.0), 42);
+    }
+
+    #[test]
+    fn latency_stats_from_unsorted_samples() {
+        let s = LatencyStats::from_samples(&[500, 100, 900, 300, 700]);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.p50, 500);
+        assert_eq!(s.p99, 900);
+        assert_eq!(s.max, 900);
+        assert!(s.p50 <= s.p99);
+        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+        let row = s.row();
+        assert!(row.contains("p50"));
+        assert!(row.contains("p99"));
     }
 
     #[test]

@@ -29,11 +29,11 @@ use twin_net::{EtherType, Frame, MacAddr, MTU};
 use twin_nic::{Nic, MMIO_WINDOW};
 use twin_rewriter::{rewrite, RewriteOptions, RewriteStats};
 use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
-pub use twin_xen::DomId;
 use twin_xen::{
     load_hypervisor_driver, HyperSupport, HypervisorDriver, Softirq, Xen, HYP_CODE_BASE,
-    UPCALL_STACK_BASE, UPCALL_STACK_PAGES,
+    UPCALL_RING_SLOTS, UPCALL_STACK_BASE, UPCALL_STACK_PAGES,
 };
+pub use twin_xen::{DomId, UpcallMode};
 
 /// Code base of the VM driver instance in dom0.
 pub const VM_CODE_BASE: u64 = 0x0800_0000;
@@ -160,6 +160,17 @@ pub struct SystemOptions {
     /// figures are unchanged; only backlogs beyond the quantum pay an
     /// extra (cheap) virq per round.
     pub rx_flush_quantum: usize,
+    /// How upcalls to dom0 execute (TwinDrivers only):
+    /// [`UpcallMode::Sync`] is the paper's per-call switch-pair (the
+    /// default — cycle-exact with the pre-engine path);
+    /// [`UpcallMode::Deferred`] queues policy-eligible calls and drains
+    /// the ring in one switch-pair at the end of each burst pass (or on
+    /// queue-full/high-water), amortizing the two switches per *flush*.
+    pub upcall_mode: UpcallMode,
+    /// Deferred-upcall ring capacity in entries (clamped to the mapped
+    /// ring: 1..=[`twin_xen::UPCALL_RING_SLOTS`]). Enqueueing at
+    /// capacity forces a flush first.
+    pub upcall_queue_capacity: usize,
 }
 
 impl Default for SystemOptions {
@@ -174,6 +185,8 @@ impl Default for SystemOptions {
             num_nics: 1,
             shard: ShardPolicy::default(),
             rx_flush_quantum: 64,
+            upcall_mode: UpcallMode::Sync,
+            upcall_queue_capacity: 128,
         }
     }
 }
@@ -608,6 +621,11 @@ impl System {
             sys.world.svm_hyp = Some(svm);
             let mut hs = HyperSupport::new();
             hs.set_upcall_count(opts.upcall_count);
+            hs.engine.set_mode(opts.upcall_mode);
+            hs.engine.set_capacity(
+                opts.upcall_queue_capacity
+                    .clamp(1, UPCALL_RING_SLOTS as usize),
+            );
             sys.world.hyper = Some(hs);
             sys.hyperdrv = Some(hyp);
             if opts.iommu {
@@ -689,6 +707,45 @@ impl System {
         cpu.push_call_frame(&mut self.machine, args)?;
         self.world.extern_call(name, &mut self.machine, &mut cpu)?;
         Ok(cpu.reg(twin_isa::Reg::Eax))
+    }
+
+    /// Drains the deferred-upcall ring in one switch-pair — the "natural
+    /// dom0 scheduling point" at the end of a burst pass. No-op in
+    /// synchronous mode or on an empty ring, so the default path is
+    /// untouched. Returns how many queued upcalls executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults from the flushed routines.
+    pub fn flush_deferred_upcalls(&mut self) -> Result<usize, SystemError> {
+        let World {
+            kernel, xen, hyper, ..
+        } = &mut self.world;
+        if let (Some(hs), Some(xen)) = (hyper.as_mut(), xen.as_mut()) {
+            if hs.engine.deferred() && hs.engine.depth() > 0 {
+                return Ok(hs.flush_upcalls(&mut self.machine, kernel, xen)?);
+            }
+        }
+        Ok(0)
+    }
+
+    /// Cycles-to-completion samples for every upcall since the last
+    /// measurement reset (empty when no hypervisor support is present).
+    pub fn upcall_latency_samples(&self) -> &[u64] {
+        self.world
+            .hyper
+            .as_ref()
+            .map(|h| h.engine.latency_samples())
+            .unwrap_or(&[])
+    }
+
+    /// Resets the cycle meter and the upcall-latency window together (the
+    /// start of every measurement interval).
+    fn reset_measurement(&mut self) {
+        self.machine.meter.reset();
+        if let Some(h) = self.world.hyper.as_mut() {
+            h.engine.clear_latency();
+        }
     }
 
     /// Flows the internal traffic generators cycle over: the paper's
@@ -777,7 +834,11 @@ impl System {
                     break 'bursts; // ring pressure: the shortfall was dropped
                 }
             }
+            // End of one transmit pass: a natural dom0 scheduling point.
+            self.flush_deferred_upcalls()?;
         }
+        // The ring-pressure break skips the in-loop flush.
+        self.flush_deferred_upcalls()?;
         Ok(total)
     }
 
@@ -1007,6 +1068,71 @@ impl System {
         Ok(sent)
     }
 
+    /// In deferred mode with the allocator forced onto the upcall path,
+    /// the paravirtual TX glue batches its allocation requests: it queues
+    /// one `netdev_alloc_skb` per frame and suspends the burst **once**,
+    /// so one switch-pair returns every buffer (the continuation ids
+    /// match completions to frames). Returns `None` when the per-call
+    /// path should run instead (sync mode, or the allocator is native).
+    fn alloc_burst_deferred(
+        &mut self,
+        n: usize,
+        netdev: u32,
+    ) -> Result<Option<Vec<u32>>, SystemError> {
+        let World {
+            kernel, xen, hyper, ..
+        } = &mut self.world;
+        let (Some(hs), Some(xen)) = (hyper.as_mut(), xen.as_mut()) else {
+            return Ok(None);
+        };
+        if !hs.engine.deferred() || !hs.upcall_routines.contains("netdev_alloc_skb") {
+            return Ok(None);
+        }
+        // One suspension per ring's worth of requests: completions are
+        // consumed right after the flush that posts them (they do not
+        // survive a later flush), so the glue suspends whenever the ring
+        // fills and once more at the end. With the default capacity a
+        // whole burst is a single suspension.
+        fn resume(
+            hs: &mut HyperSupport,
+            kernel: &mut Dom0Kernel,
+            xen: &mut Xen,
+            machine: &mut Machine,
+            pending: &mut Vec<u64>,
+            ptrs: &mut Vec<u32>,
+        ) -> Result<(), SystemError> {
+            hs.engine.stats.continuations += 1;
+            machine.meter.count_event("upcall_continuation");
+            hs.flush_upcalls(machine, kernel, xen)?;
+            for id in pending.drain(..) {
+                let done = hs
+                    .engine
+                    .take_completion(id)
+                    .expect("flush posts every allocation completion");
+                ptrs.push(done.ret);
+            }
+            Ok(())
+        }
+        let mut ptrs = Vec::with_capacity(n);
+        let mut pending: Vec<u64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            if hs.engine.is_full() {
+                resume(hs, kernel, xen, &mut self.machine, &mut pending, &mut ptrs)?;
+            }
+            let m = &mut self.machine;
+            m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_tx);
+            pending.push(hs.enqueue_upcall(
+                "netdev_alloc_skb",
+                vec![netdev, 2048],
+                m,
+                kernel,
+                xen,
+            )?);
+        }
+        resume(hs, kernel, xen, &mut self.machine, &mut pending, &mut ptrs)?;
+        Ok(Some(ptrs))
+    }
+
     /// TwinDrivers transmit (paper §5.3): paravirtual driver hypercall →
     /// hypervisor glue (dom0 skb + guest-page fragment per packet) →
     /// hypervisor driver instance, all without leaving the guest
@@ -1023,23 +1149,31 @@ impl System {
         let xen = self.world.xen.as_mut().expect("xen");
         xen.hypercall(&mut self.machine);
         let netdev = self.netdev_of(dev) as u32;
+        let batched = self.alloc_burst_deferred(frames.len(), netdev)?;
         let mut skbs = Vec::with_capacity(frames.len());
-        for frame in frames {
+        for (fi, frame) in frames.iter().enumerate() {
             let header_copy = self.header_copy.min(frame.len());
-            {
-                let m = &mut self.machine;
-                m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_tx);
-            }
-            // Acquire a pre-allocated dom0 sk_buff through the (possibly
+            // Acquire a pre-allocated dom0 sk_buff: from the batched
+            // continuation's completions, or through the (possibly
             // upcalled) support routine.
-            let skb = match self.call_support("netdev_alloc_skb", &[netdev, 2048]) {
+            let raw = match &batched {
+                Some(ptrs) => Ok(ptrs[fi]),
+                None => {
+                    let m = &mut self.machine;
+                    m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_tx);
+                    self.call_support("netdev_alloc_skb", &[netdev, 2048])
+                }
+            };
+            let skb = match raw {
                 Ok(v) if v != 0 => SkBuff(v as u64),
                 Ok(_) => {
                     self.free_skbs(&skbs)?;
+                    self.free_batched_tail(&batched, fi + 1)?;
                     return Err(SystemError::Build("hypervisor skb pool empty".into()));
                 }
                 Err(e) => {
                     self.free_skbs(&skbs)?;
+                    self.free_batched_tail(&batched, fi + 1)?;
                     return Err(e);
                 }
             };
@@ -1064,10 +1198,31 @@ impl System {
                 });
             if let Err(e) = filled {
                 self.free_skbs(&skbs)?;
+                self.free_batched_tail(&batched, fi + 1)?;
                 return Err(e.into());
             }
         }
         self.drive_tx(&skbs, true, dev)
+    }
+
+    /// Error-path cleanup for the batched allocation continuation: frees
+    /// the buffers already allocated up front but not yet wrapped into
+    /// `skbs` when a mid-burst failure aborts the glue loop, so the
+    /// failure cannot drain the pool.
+    fn free_batched_tail(
+        &mut self,
+        batched: &Option<Vec<u32>>,
+        next: usize,
+    ) -> Result<(), SystemError> {
+        if let Some(ptrs) = batched {
+            let tail: Vec<SkBuff> = ptrs[next.min(ptrs.len())..]
+                .iter()
+                .filter(|p| **p != 0)
+                .map(|p| SkBuff(*p as u64))
+                .collect();
+            self.free_skbs(&tail)?;
+        }
+        Ok(())
     }
 
     /// Receives one MTU-sized packet along the configuration's full path
@@ -1143,6 +1298,9 @@ impl System {
             // One software pass: reap each NIC's batch, then fan the
             // union out to the guests (one demux sweep per pass).
             self.rx_pass(&pass_devs)?;
+            // End of one receive pass: drain any deferred upcalls the
+            // reap queued (unmaps, frees).
+            self.flush_deferred_upcalls()?;
             if groups.iter().all(|(_, pending)| pending.is_empty()) {
                 break;
             }
@@ -1214,6 +1372,8 @@ impl System {
             self.machine.meter.pop_domain();
             reaped += r? as usize;
         }
+        // End of the polled pass: a natural dom0 scheduling point.
+        self.flush_deferred_upcalls()?;
         match self.config {
             // Hypervisor demux queued frames per guest: flush them.
             Config::TwinDrivers => self.flush_guest_rx_queues()?,
@@ -1364,7 +1524,15 @@ impl System {
         let multi = self.multi_nic();
         let work = self.world.xen.as_mut().unwrap().take_runnable_softirqs();
         for w in work {
-            let Softirq::DriverIrq { nic } = w;
+            let nic = match w {
+                Softirq::DriverIrq { nic } => nic,
+                // The high-water kick: drain the deferred-upcall ring if
+                // no burst-pass flush got there first.
+                Softirq::UpcallFlush => {
+                    self.flush_deferred_upcalls()?;
+                    continue;
+                }
+            };
             let (intr, args) = if multi {
                 (
                     self.hyperdrv.as_ref().unwrap().intr_dev_entry().unwrap(),
@@ -1497,7 +1665,7 @@ impl System {
             self.transmit_one()?;
         }
         self.take_wire_frames();
-        self.machine.meter.reset();
+        self.reset_measurement();
         for _ in 0..packets {
             self.transmit_one()?;
         }
@@ -1518,7 +1686,7 @@ impl System {
         for _ in 0..160 {
             self.receive_one()?;
         }
-        self.machine.meter.reset();
+        self.reset_measurement();
         for _ in 0..packets {
             self.receive_one()?;
         }
@@ -1545,7 +1713,7 @@ impl System {
             self.transmit_one()?;
         }
         self.take_wire_frames();
-        self.machine.meter.reset();
+        self.reset_measurement();
         let mut sent = 0u64;
         while sent < packets {
             let n = burst.min((packets - sent) as usize);
@@ -1576,7 +1744,7 @@ impl System {
         for _ in 0..160 * self.world.nics.len() {
             self.receive_one()?;
         }
-        self.machine.meter.reset();
+        self.reset_measurement();
         let mut got = 0u64;
         while got < packets {
             let n = burst.min((packets - got) as usize);

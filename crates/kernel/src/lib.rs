@@ -28,7 +28,10 @@ pub mod support;
 pub use heap::Heap;
 pub use loader::{load_driver, LoadError, LoadedDriver};
 pub use skb::{SkBuff, SkbPool, SKB_HDR_SIZE};
-pub use support::{Dom0Kernel, RxMode, Trace, KNOWN_ROUTINES, MMIO_BASE, TABLE1_FASTPATH};
+pub use support::{
+    defer_policy, DeferClass, Dom0Kernel, RxMode, Trace, KNOWN_ROUTINES, MMIO_BASE,
+    TABLE1_DEFER_POLICY, TABLE1_FASTPATH, UPCALL_CONFLICTS, UPCALL_MAX_ARGS,
+};
 
 use twin_machine::{run, Cpu, Env, ExecMode, Fault, Machine, SpaceId, StopReason};
 

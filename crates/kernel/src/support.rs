@@ -646,6 +646,77 @@ pub const TABLE1_FASTPATH: &[&str] = &[
     "eth_type_trans",
 ];
 
+/// How a support routine on the upcall path may execute when the
+/// deferred-upcall engine is active (it is never consulted in synchronous
+/// mode, which stays the paper's §4.2 path).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DeferClass {
+    /// Always a synchronous upcall: two domain switches per call. The
+    /// default for the long tail of control-path routines, where latency
+    /// does not matter and correctness review does.
+    Sync,
+    /// The caller never consumes the result inline (frees, unmaps,
+    /// unlocks), or the hypervisor can compute a provisional result
+    /// locally (DMA mapping is a deterministic page translation the
+    /// hypervisor already performs for the stlb): enqueue into the
+    /// deferred ring and continue; dom0 executes the call — and posts the
+    /// completion — at the next flush.
+    Deferred,
+    /// The result is consumed inline and only dom0 can produce it
+    /// (allocation from dom0's free list, delivery into dom0's stack):
+    /// suspend the burst via a continuation — the whole ring drains in
+    /// one switch-pair, FIFO, with this call last, and the caller resumes
+    /// with the routine's dom0 return value.
+    Continuation,
+}
+
+/// Deferral policy and argument arity for each Table 1 routine, in
+/// Table 1 order — the knob that decides, per routine, whether forcing it
+/// onto the upcall path costs two switches per *call* (`Sync`), per
+/// *flush* (`Deferred`), or per *suspension* (`Continuation`).
+pub const TABLE1_DEFER_POLICY: &[(&str, DeferClass, usize)] = &[
+    ("netdev_alloc_skb", DeferClass::Continuation, 2),
+    ("dev_kfree_skb_any", DeferClass::Deferred, 1),
+    ("netif_rx", DeferClass::Continuation, 1),
+    ("dma_map_single", DeferClass::Deferred, 2),
+    ("dma_map_page", DeferClass::Deferred, 2),
+    ("dma_unmap_single", DeferClass::Deferred, 2),
+    ("dma_unmap_page", DeferClass::Deferred, 2),
+    ("spin_trylock", DeferClass::Continuation, 1),
+    ("spin_unlock_irqrestore", DeferClass::Deferred, 2),
+    ("eth_type_trans", DeferClass::Continuation, 2),
+];
+
+/// Maximum stack arguments a deferred ring entry saves (the widest
+/// Table 1 routine takes two; the long tail is conservatively given
+/// four).
+pub const UPCALL_MAX_ARGS: usize = 4;
+
+/// Looks up the deferral policy `(class, arity)` for a routine. Routines
+/// outside Table 1 stay [`DeferClass::Sync`].
+pub fn defer_policy(name: &str) -> (DeferClass, usize) {
+    TABLE1_DEFER_POLICY
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, c, a)| (*c, *a))
+        .unwrap_or((DeferClass::Sync, UPCALL_MAX_ARGS))
+}
+
+/// Native fast-path routines that must observe the effects of any queued
+/// deferred upcalls before running (pool state for allocation, the shared
+/// lock word for `spin_trylock`): the engine flushes first when the ring
+/// holds a conflicting entry. Each pair is
+/// `(native routine, conflicting queued routines)`. Only Table 1
+/// routines can execute natively; long-tail routines reach dom0 as
+/// `Sync`-class upcalls, which drain the ring outright before running.
+pub const UPCALL_CONFLICTS: &[(&str, &[&str])] = &[
+    (
+        "netdev_alloc_skb",
+        &["dev_kfree_skb_any", "dev_kfree_skb", "kfree_skb"],
+    ),
+    ("spin_trylock", &["spin_unlock_irqrestore"]),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -656,6 +727,35 @@ mod tests {
             assert!(KNOWN_ROUTINES.contains(f), "{f} missing");
         }
         assert!(KNOWN_ROUTINES.len() >= 95, "{}", KNOWN_ROUTINES.len());
+    }
+
+    #[test]
+    fn defer_policy_covers_table1_in_order() {
+        assert_eq!(TABLE1_DEFER_POLICY.len(), TABLE1_FASTPATH.len());
+        for ((name, _, arity), fast) in TABLE1_DEFER_POLICY.iter().zip(TABLE1_FASTPATH) {
+            assert_eq!(name, fast, "policy table must follow Table 1 order");
+            assert!(*arity <= UPCALL_MAX_ARGS);
+        }
+        // Result-consuming routines must not be fire-and-forget.
+        assert_eq!(defer_policy("netdev_alloc_skb").0, DeferClass::Continuation);
+        assert_eq!(defer_policy("spin_trylock").0, DeferClass::Continuation);
+        assert_eq!(defer_policy("dev_kfree_skb_any").0, DeferClass::Deferred);
+        // The long tail stays synchronous.
+        assert_eq!(defer_policy("kmalloc").0, DeferClass::Sync);
+        assert_eq!(defer_policy("no_such_routine").0, DeferClass::Sync);
+    }
+
+    #[test]
+    fn upcall_conflicts_reference_native_capable_routines() {
+        for (native, queued) in UPCALL_CONFLICTS {
+            // The barrier guards *native* execution, which only Table 1
+            // routines can reach; everything else drains the ring as a
+            // Sync-class upcall instead.
+            assert!(TABLE1_FASTPATH.contains(native), "{native}");
+            for q in *queued {
+                assert!(KNOWN_ROUTINES.contains(q), "{q}");
+            }
+        }
     }
 
     #[test]

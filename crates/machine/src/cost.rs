@@ -119,6 +119,20 @@ pub struct CostParams {
     pub netfront_per_packet: u64,
     /// Upcall stack-switch bookkeeping (beyond domain switches and virq).
     pub upcall_overhead: u64,
+    /// Saving one deferred upcall into the request ring (routine id,
+    /// parameters, continuation id — no domain switch).
+    pub upcall_enqueue: u64,
+    /// Fixed cost of draining the deferred-upcall ring once: switching to
+    /// the upcall stack, walking the ring, posting the batched completion
+    /// event (the two domain switches, virq and hypercall are charged by
+    /// the hypervisor as usual — per *flush*, not per call).
+    pub upcall_flush_overhead: u64,
+    /// Per-entry dom0 dispatch during a flush (decode the ring entry,
+    /// rebuild the call frame), beyond the routine's own cost.
+    pub upcall_dispatch: u64,
+    /// Posting one completion record (continuation id, return value) back
+    /// through the event channel.
+    pub upcall_complete: u64,
     /// Interrupt dispatch cost (vector to handler).
     pub irq_dispatch: u64,
     /// Allocating/freeing an sk_buff in the kernel model.
@@ -193,6 +207,10 @@ impl Default for CostParams {
             // the virq/hypercall pair; the full guest-context upcall then
             // costs ~12.7k cycles, matching the first-bar drop of Fig 10.
             upcall_overhead: 5950,
+            upcall_enqueue: 140,
+            upcall_flush_overhead: 1450,
+            upcall_dispatch: 170,
+            upcall_complete: 90,
             irq_dispatch: 350,
             skb_alloc: 180,
             dma_map: 120,

@@ -62,6 +62,15 @@ impl Domain {
             rx_delivered: Vec::new(),
         }
     }
+
+    /// Consumes every pending event on `port`, returning how many were
+    /// pending — how a handler acknowledges e.g. the batched
+    /// upcall-completion event without disturbing other ports' events.
+    pub fn drain_virqs(&mut self, port: u32) -> usize {
+        let before = self.pending_virqs.len();
+        self.pending_virqs.retain(|p| *p != port);
+        before - self.pending_virqs.len()
+    }
 }
 
 #[cfg(test)]
@@ -84,5 +93,19 @@ mod tests {
         assert!(d.virq_enabled);
         assert!(d.pending_virqs.is_empty());
         assert!(d.rx_queue.is_empty());
+    }
+
+    #[test]
+    fn drain_virqs_is_per_port() {
+        let mut d = Domain::new(
+            DomId(1),
+            SpaceId(1),
+            DomainKind::Guest,
+            MacAddr::for_guest(1),
+        );
+        d.pending_virqs.extend([4, 32, 4, 32, 7]);
+        assert_eq!(d.drain_virqs(32), 2);
+        assert_eq!(d.pending_virqs, vec![4, 4, 7]);
+        assert_eq!(d.drain_virqs(32), 0);
     }
 }

@@ -33,6 +33,25 @@ pub const UPCALL_STACK_BASE: u64 = HYPER_BASE + 0x0090_0000;
 /// Upcall stack size in pages.
 pub const UPCALL_STACK_PAGES: u64 = 4;
 
+/// The deferred-upcall request ring (hypervisor memory, shared with the
+/// dom0 flush handler): each slot saves one queued upcall's routine id,
+/// arity, stack parameters and continuation id, so the batched dom0 pass
+/// can rebuild every call frame without touching the driver stack. The
+/// dom0 handler resumes the driver instance by posting each routine's
+/// return value back through the event channel
+/// ([`crate::upcall::UPCALL_COMPLETION_PORT`]).
+pub const UPCALL_RING_BASE: u64 = HYPER_BASE + 0x0098_0000;
+
+/// Ring size in pages.
+pub const UPCALL_RING_PAGES: u64 = 2;
+
+/// Bytes per ring slot: routine id, arity, four saved arguments,
+/// continuation id (lo, hi) — eight 32-bit words.
+pub const UPCALL_RING_SLOT_BYTES: u64 = 32;
+
+/// Number of ring slots (the hard ceiling on the engine's capacity).
+pub const UPCALL_RING_SLOTS: u64 = UPCALL_RING_PAGES * PAGE_SIZE / UPCALL_RING_SLOT_BYTES;
+
 /// The hypervisor driver instance: image, entry points, stack, and abort
 /// state (a driver that makes an illegal access is aborted and stays
 /// aborted until reloaded).
@@ -135,6 +154,8 @@ pub fn load_hypervisor_driver(
     m.map_hyper_fresh(HYP_STACK_BASE, HYP_STACK_PAGES)
         .map_err(LoadError::Fault)?;
     m.map_hyper_fresh(UPCALL_STACK_BASE, UPCALL_STACK_PAGES)
+        .map_err(LoadError::Fault)?;
+    m.map_hyper_fresh(UPCALL_RING_BASE, UPCALL_RING_PAGES)
         .map_err(LoadError::Fault)?;
     let image = m
         .load_image(rewritten, HYP_CODE_BASE, |name| {

@@ -8,27 +8,43 @@
 //! synchronous virtual interrupt, run the dom0 routine, return via a
 //! hypercall, switch back. For Figure 10, any subset of the fast-path
 //! routines can be *forced* onto the upcall path.
+//!
+//! In **deferred mode** ([`crate::upcall::UpcallMode::Deferred`]) the
+//! upcall stub consults [`twin_kernel::TABLE1_DEFER_POLICY`] instead of
+//! switching immediately: `Deferred`-class calls are saved into the
+//! request ring at [`crate::hyperdrv::UPCALL_RING_BASE`] and continue
+//! with a locally computed provisional result; `Continuation`-class calls
+//! enqueue themselves, suspend the burst, and [`HyperSupport::flush_upcalls`]
+//! drains the whole ring in one switch-pair, posting every return value
+//! back through the completion event channel.
 
 use crate::domain::DomId;
-use crate::xen::Xen;
+use crate::hyperdrv::{
+    UPCALL_RING_BASE, UPCALL_RING_SLOTS, UPCALL_RING_SLOT_BYTES, UPCALL_STACK_BASE,
+    UPCALL_STACK_PAGES,
+};
+use crate::upcall::{UpcallEngine, UpcallMode, UPCALL_COMPLETION_PORT};
+use crate::xen::{Softirq, Xen};
 use std::collections::BTreeSet;
-use twin_kernel::{Dom0Kernel, SkBuff, TABLE1_FASTPATH};
-use twin_machine::{CostDomain, Cpu, ExecMode, Fault, Machine};
+use twin_kernel::{DeferClass, Dom0Kernel, SkBuff, KNOWN_ROUTINES, TABLE1_FASTPATH};
+use twin_machine::{CostDomain, Cpu, ExecMode, Fault, Machine, PAGE_SIZE};
 use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
 
 /// Event-channel port used for upcall requests.
 pub const UPCALL_PORT: u32 = 31;
 
-/// Hypervisor support state: which routines are forced to upcall, and
-/// counters.
+/// Hypervisor support state: which routines are forced to upcall, the
+/// deferred-upcall engine, and counters.
 #[derive(Debug, Default)]
 pub struct HyperSupport {
     /// Fast-path routines forced onto the upcall path (Figure 10 sweep).
     pub upcall_routines: BTreeSet<String>,
-    /// Upcalls performed.
+    /// Upcalls executed in dom0 (synchronously or at a flush).
     pub upcalls: u64,
     /// Frames dropped because no guest matched the destination MAC.
     pub demux_misses: u64,
+    /// The deferred-upcall engine (ring, completions, continuation ids).
+    pub engine: UpcallEngine,
 }
 
 impl HyperSupport {
@@ -107,6 +123,21 @@ impl HyperSupport {
         let is_fastpath = TABLE1_FASTPATH.contains(&name);
         let force_upcall = self.upcall_routines.contains(name);
         if is_fastpath && !force_upcall {
+            // Deferred entries must be visible before a native routine
+            // that reads the state they mutate (pool free lists, the
+            // shared lock word) — flush first on a conflict.
+            if self.engine.deferred() {
+                if let Some((_, queued)) = twin_kernel::UPCALL_CONFLICTS
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                {
+                    if self.engine.has_queued_any(queued) {
+                        if let Err(e) = self.flush_upcalls(m, kernel, xen) {
+                            return Some(Err(e));
+                        }
+                    }
+                }
+            }
             kernel.trace.record(name);
             m.meter.push_domain(CostDomain::Xen);
             let r = self.native_impl(name, m, cpu, kernel, xen, svm);
@@ -114,9 +145,13 @@ impl HyperSupport {
             return Some(r);
         }
         // Upcall stub: any routine dom0 implements (including forced
-        // fast-path routines) is forwarded.
-        if twin_kernel::KNOWN_ROUTINES.contains(&name) {
-            return Some(self.upcall(name, m, cpu, kernel, xen));
+        // fast-path routines) is forwarded — synchronously, or via the
+        // deferred ring per the routine's policy class.
+        if KNOWN_ROUTINES.contains(&name) {
+            return Some(match self.engine.mode {
+                UpcallMode::Sync => self.upcall(name, m, cpu, kernel, xen),
+                UpcallMode::Deferred => self.upcall_deferred(name, m, cpu, kernel, xen),
+            });
         }
         None
     }
@@ -132,6 +167,7 @@ impl HyperSupport {
     ) -> Result<(), Fault> {
         self.upcalls += 1;
         m.meter.count_event("upcall");
+        let cycles_before = m.meter.total_cycles();
         // Stub: save parameters, switch to the upcall stack.
         let c = m.cost.upcall_overhead;
         m.meter.charge_to(CostDomain::Xen, c);
@@ -151,7 +187,215 @@ impl HyperSupport {
         // Return to the stub via hypercall, then back to the guest.
         xen.hypercall(m);
         xen.switch_to(m, back);
+        self.engine
+            .record_sync_latency(m.meter.total_cycles() - cycles_before);
         Ok(())
+    }
+
+    /// The deferred upcall stub: policy-directed queueing instead of an
+    /// immediate switch-pair.
+    fn upcall_deferred(
+        &mut self,
+        name: &str,
+        m: &mut Machine,
+        cpu: &mut Cpu,
+        kernel: &mut Dom0Kernel,
+        xen: &mut Xen,
+    ) -> Result<(), Fault> {
+        let (class, arity) = twin_kernel::defer_policy(name);
+        match class {
+            DeferClass::Sync => {
+                // A synchronous upcall is itself a dom0 transition:
+                // drain the ring first so queued entries (frees,
+                // unlocks) execute before it in program order — dom0
+                // must not observe the sync call ahead of older work.
+                self.flush_upcalls(m, kernel, xen)?;
+                self.upcall(name, m, cpu, kernel, xen)
+            }
+            DeferClass::Deferred => {
+                let args = read_args(m, cpu, arity)?;
+                let provisional = self.local_result(name, m, kernel, &args)?;
+                self.enqueue_upcall(name, args, m, kernel, xen)?;
+                cpu.set_reg(twin_isa::Reg::Eax, provisional);
+                Ok(())
+            }
+            DeferClass::Continuation => {
+                let args = read_args(m, cpu, arity)?;
+                let cont_id = self.enqueue_upcall(name, args, m, kernel, xen)?;
+                // Suspend the burst: drain the ring FIFO (this call
+                // last) in one switch-pair, then resume with the dom0
+                // return value its completion carries.
+                self.engine.stats.continuations += 1;
+                m.meter.count_event("upcall_continuation");
+                self.flush_upcalls(m, kernel, xen)?;
+                let done = self
+                    .engine
+                    .take_completion(cont_id)
+                    .expect("flush posts the suspending call's completion");
+                cpu.set_reg(twin_isa::Reg::Eax, done.ret);
+                Ok(())
+            }
+        }
+    }
+
+    /// Provisional result for a `Deferred`-class routine, computed by the
+    /// hypervisor without switching: DMA mapping is the same
+    /// deterministic page translation the stlb performs (dom0's flush
+    /// execution recomputes it and the completion carries the identical
+    /// value); frees, unmaps and unlocks return 0 like their dom0
+    /// implementations.
+    fn local_result(
+        &mut self,
+        name: &str,
+        m: &mut Machine,
+        kernel: &Dom0Kernel,
+        args: &[u32],
+    ) -> Result<u32, Fault> {
+        match name {
+            "dma_map_single" => {
+                let c = m.cost.dma_map;
+                m.meter.charge_to(CostDomain::Xen, c);
+                let vaddr = args.first().copied().unwrap_or(0) as u64;
+                let t = m.translate(kernel.space, ExecMode::Guest, vaddr, false)?;
+                Ok((t.entry.pfn * PAGE_SIZE + t.offset) as u32)
+            }
+            "dma_map_page" => {
+                let c = m.cost.dma_map;
+                m.meter.charge_to(CostDomain::Xen, c);
+                Ok(args.first().copied().unwrap_or(0))
+            }
+            _ => Ok(0),
+        }
+    }
+
+    /// Saves one upcall into the request ring: flushes first if the ring
+    /// is full, charges the enqueue cost, writes the slot in hypervisor
+    /// memory and schedules a flush kick past the high-water mark.
+    /// Returns the continuation id.
+    pub fn enqueue_upcall(
+        &mut self,
+        name: &str,
+        args: Vec<u32>,
+        m: &mut Machine,
+        kernel: &mut Dom0Kernel,
+        xen: &mut Xen,
+    ) -> Result<u64, Fault> {
+        if self.engine.is_full() {
+            self.engine.stats.forced_flushes += 1;
+            m.meter.count_event("upcall_forced_flush");
+            self.flush_upcalls(m, kernel, xen)?;
+        }
+        let c = m.cost.upcall_enqueue;
+        m.meter.charge_to(CostDomain::Xen, c);
+        m.meter.count_event("upcall_enqueue");
+        let arg = |i: usize| args.get(i).copied().unwrap_or(0);
+        let routine_id = KNOWN_ROUTINES
+            .iter()
+            .position(|r| *r == name)
+            .unwrap_or(usize::MAX) as u32;
+        let words = [
+            routine_id,
+            args.len() as u32,
+            arg(0),
+            arg(1),
+            arg(2),
+            arg(3),
+            0, // cont id lo, patched below
+            0, // cont id hi
+        ];
+        let cycles = m.meter.total_cycles();
+        let cont_id = self.engine.enqueue(name, args, cycles);
+        // Persist the slot: (routine id, arity, args[0..4], cont id).
+        let entry = self.engine.stats.enqueued.wrapping_sub(1);
+        let slot = UPCALL_RING_BASE + (entry % UPCALL_RING_SLOTS) * UPCALL_RING_SLOT_BYTES;
+        for (i, w) in words.iter().enumerate() {
+            let v = match i {
+                6 => cont_id as u32,
+                7 => (cont_id >> 32) as u32,
+                _ => *w,
+            };
+            m.write_u32(kernel.space, ExecMode::Hypervisor, slot + 4 * i as u64, v)?;
+        }
+        if self.engine.past_high_water() {
+            xen.raise_softirq(Softirq::UpcallFlush);
+        }
+        Ok(cont_id)
+    }
+
+    /// Drains the deferred-upcall ring in **one** switch-pair: switch to
+    /// dom0, deliver the upcall event, rebuild each saved call frame on
+    /// the upcall stack and run the routine, record its completion,
+    /// return via hypercall and post a single batched completion event to
+    /// the interrupted domain. No-op on an empty ring. Returns how many
+    /// upcalls executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first routine fault; the switch back to the
+    /// interrupted context still happens, later completions for that
+    /// flush are not posted (the driver will be aborted by its caller).
+    pub fn flush_upcalls(
+        &mut self,
+        m: &mut Machine,
+        kernel: &mut Dom0Kernel,
+        xen: &mut Xen,
+    ) -> Result<usize, Fault> {
+        if self.engine.depth() == 0 {
+            return Ok(0);
+        }
+        // Records from earlier flushes were consumed by their waiters
+        // already (or never had one) — keep the store bounded.
+        self.engine.prune_stale_completions();
+        self.engine.stats.flushes += 1;
+        m.meter.count_event("upcall_flush");
+        let c = m.cost.upcall_flush_overhead;
+        m.meter.charge_to(CostDomain::Xen, c);
+        let back = xen.current;
+        xen.switch_to(m, DomId::DOM0);
+        xen.send_virq(m, DomId::DOM0, UPCALL_PORT);
+        xen.domain_mut(DomId::DOM0).pending_virqs.pop();
+        let entries = self.engine.drain();
+        let n = entries.len();
+        let stack_top = UPCALL_STACK_BASE + UPCALL_STACK_PAGES * PAGE_SIZE;
+        let mut first_err: Option<Fault> = None;
+        for entry in &entries {
+            if first_err.is_some() {
+                break;
+            }
+            let c = m.cost.upcall_dispatch;
+            m.meter.charge_to(CostDomain::Dom0, c);
+            // Rebuild the saved call frame on the upcall stack and run
+            // the routine in dom0.
+            let mut cpu = Cpu::new(kernel.space, ExecMode::Hypervisor);
+            cpu.set_stack(stack_top);
+            let r = cpu.push_call_frame(m, &entry.args).and_then(|()| {
+                match kernel.handle_extern(&entry.routine, m, &mut cpu) {
+                    Some(r) => r.map(|()| cpu.reg(twin_isa::Reg::Eax)),
+                    None => Err(Fault::UnknownExtern(entry.routine.clone())),
+                }
+            });
+            match r {
+                Ok(ret) => {
+                    self.upcalls += 1;
+                    m.meter.count_event("upcall_exec");
+                    let c = m.cost.upcall_complete;
+                    m.meter.charge_to(CostDomain::Xen, c);
+                    self.engine.complete(entry, ret, m.meter.total_cycles());
+                }
+                Err(e) => first_err = Some(e),
+            }
+        }
+        xen.hypercall(m);
+        xen.switch_to(m, back);
+        // One batched completion event for the whole flush; the resumed
+        // driver instance acknowledges it immediately (like the sync
+        // stub's upcall event above).
+        xen.send_virq(m, back, UPCALL_COMPLETION_PORT);
+        xen.domain_mut(back).drain_virqs(UPCALL_COMPLETION_PORT);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
     }
 
     /// Hypervisor-native implementations of the Table 1 routines.
@@ -272,6 +516,12 @@ impl HyperSupport {
         }
         Ok(())
     }
+}
+
+/// Reads the first `arity` cdecl stack arguments of the current frame
+/// (the "save parameters" half of the deferred stub).
+fn read_args(m: &Machine, cpu: &Cpu, arity: usize) -> Result<Vec<u32>, Fault> {
+    (0..arity as u32).map(|i| cpu.arg(m, i)).collect()
 }
 
 #[cfg(test)]
@@ -490,6 +740,242 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(e, Fault::UnknownExtern(_)));
+    }
+
+    /// A `setup()` world with the deferred engine armed (upcall stack and
+    /// request ring mapped, as the hypervisor loader does).
+    fn setup_deferred() -> (Machine, Dom0Kernel, Xen, Svm, HyperSupport) {
+        let (mut m, kernel, xen, svm, mut hs) = setup();
+        m.map_hyper_fresh(UPCALL_STACK_BASE, UPCALL_STACK_PAGES)
+            .unwrap();
+        m.map_hyper_fresh(UPCALL_RING_BASE, crate::hyperdrv::UPCALL_RING_PAGES)
+            .unwrap();
+        hs.engine.set_mode(UpcallMode::Deferred);
+        (m, kernel, xen, svm, hs)
+    }
+
+    #[test]
+    fn deferred_free_queues_until_flush() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup_deferred();
+        hs.upcall_routines.insert("dev_kfree_skb_any".into());
+        let gspace = m.new_space();
+        let gid = xen.add_guest(gspace, MacAddr::for_guest(1));
+        xen.switch_to(&mut m, gid);
+        let switches_before = xen.switches;
+        let virqs_before = xen.virqs_sent;
+        let skb = kernel.pool.alloc(&mut m, kernel.space).unwrap();
+        let before = kernel.pool.available();
+        call(
+            &mut hs,
+            "dev_kfree_skb_any",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[skb.0 as u32],
+        )
+        .unwrap();
+        // Queued, not executed: no switches, pool unchanged.
+        assert_eq!(xen.switches, switches_before, "no switch on enqueue");
+        assert_eq!(kernel.pool.available(), before);
+        assert_eq!(hs.engine.depth(), 1);
+        assert_eq!(m.meter.event("upcall_enqueue"), 1);
+        // The flush executes it in one switch-pair and posts completion.
+        let n = hs.flush_upcalls(&mut m, &mut kernel, &mut xen).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(xen.switches, switches_before + 2, "one pair per flush");
+        assert_eq!(kernel.pool.available(), before + 1, "free ran in dom0");
+        assert_eq!(hs.upcalls, 1);
+        assert_eq!(m.meter.event("upcall_flush"), 1);
+        assert_eq!(m.meter.event("upcall_exec"), 1);
+        // The batched completion event went back through the event
+        // channel (request to dom0 + completion to the guest) and the
+        // resumed instance acknowledged it — nothing left pending.
+        assert_eq!(xen.virqs_sent, virqs_before + 2);
+        assert!(xen.domain(gid).pending_virqs.is_empty());
+    }
+
+    #[test]
+    fn deferred_dma_map_returns_translation_immediately() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup_deferred();
+        hs.upcall_routines.insert("dma_map_single".into());
+        let vaddr = 0x3d00_0000u64;
+        m.map_fresh(kernel.space, vaddr, 1).unwrap();
+        let switches_before = xen.switches;
+        let r = call(
+            &mut hs,
+            "dma_map_single",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[vaddr as u32, 2048],
+        )
+        .unwrap();
+        assert_eq!(xen.switches, switches_before, "provisional, no switch");
+        let t = m
+            .translate(kernel.space, ExecMode::Guest, vaddr, false)
+            .unwrap();
+        let machine_addr = (t.entry.pfn * PAGE_SIZE + t.offset) as u32;
+        assert_eq!(r, machine_addr, "hypervisor-computed translation");
+        // dom0's flush execution recomputes the identical value.
+        hs.flush_upcalls(&mut m, &mut kernel, &mut xen).unwrap();
+        let done = hs.engine.take_completion(1).unwrap();
+        assert_eq!(done.ret, machine_addr, "completion matches provisional");
+    }
+
+    #[test]
+    fn continuation_alloc_drains_ring_fifo_and_resumes() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup_deferred();
+        hs.set_upcall_count(2); // netdev_alloc_skb + dev_kfree_skb_any
+        let gspace = m.new_space();
+        let gid = xen.add_guest(gspace, MacAddr::for_guest(1));
+        xen.switch_to(&mut m, gid);
+        let switches_before = xen.switches;
+        // Queue a free, then suspend on an allocation: both must run in
+        // the same single switch-pair, free first (FIFO).
+        let skb = kernel.pool.alloc(&mut m, kernel.space).unwrap();
+        let before = kernel.pool.available();
+        call(
+            &mut hs,
+            "dev_kfree_skb_any",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[skb.0 as u32],
+        )
+        .unwrap();
+        let r = call(
+            &mut hs,
+            "netdev_alloc_skb",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[0, 2048],
+        )
+        .unwrap();
+        assert_ne!(r, 0, "resumed with dom0's return value");
+        assert_eq!(xen.switches, switches_before + 2, "one pair for both");
+        assert_eq!(m.meter.event("upcall_continuation"), 1);
+        assert_eq!(m.meter.event("upcall_flush"), 1);
+        // Free ran before the alloc: net pool change is -1 + 1 = 0.
+        assert_eq!(kernel.pool.available(), before);
+        assert_eq!(hs.engine.depth(), 0);
+        assert_eq!(xen.current, gid, "restored to the guest");
+    }
+
+    #[test]
+    fn conflict_barrier_flushes_before_native_trylock() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup_deferred();
+        // Manually force only the unlock — set_upcall_count can never
+        // produce this split, but the policy is user-settable.
+        hs.upcall_routines.insert("spin_unlock_irqrestore".into());
+        let lock = 0x3e00_0000u64;
+        m.map_fresh(kernel.space, lock, 1).unwrap();
+        m.write_u32(kernel.space, ExecMode::Guest, lock, 1).unwrap();
+        call(
+            &mut hs,
+            "spin_unlock_irqrestore",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[lock as u32, 0],
+        )
+        .unwrap();
+        assert_eq!(hs.engine.depth(), 1, "unlock queued");
+        assert_eq!(
+            m.read_u32(kernel.space, ExecMode::Guest, lock).unwrap(),
+            1,
+            "lock word untouched until flush"
+        );
+        // Native trylock must observe the queued unlock: the barrier
+        // flushes first, so the lock is acquired, not bounced.
+        let r = call(
+            &mut hs,
+            "spin_trylock",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[lock as u32],
+        )
+        .unwrap();
+        assert_eq!(r, 1, "native trylock sees the flushed unlock");
+        assert_eq!(m.meter.event("upcall_flush"), 1);
+        assert_eq!(hs.engine.depth(), 0);
+    }
+
+    #[test]
+    fn sync_class_upcall_drains_queued_work_first() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup_deferred();
+        hs.upcall_routines.insert("dev_kfree_skb_any".into());
+        // Queue a free, then make a long-tail (Sync-class) upcall: dom0
+        // must see the free before it — program order is preserved even
+        // for routines outside the policy table.
+        let skb = kernel.pool.alloc(&mut m, kernel.space).unwrap();
+        let before = kernel.pool.available();
+        call(
+            &mut hs,
+            "dev_kfree_skb_any",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[skb.0 as u32],
+        )
+        .unwrap();
+        assert_eq!(hs.engine.depth(), 1);
+        let r = call(
+            &mut hs,
+            "kmalloc",
+            &mut m,
+            &mut kernel,
+            &mut xen,
+            &mut svm,
+            &[64],
+        )
+        .unwrap();
+        assert_ne!(r, 0, "sync upcall served by dom0");
+        assert_eq!(hs.engine.depth(), 0, "ring drained before the sync call");
+        assert_eq!(kernel.pool.available(), before + 1, "free ran first");
+        assert_eq!(m.meter.event("upcall_flush"), 1);
+        assert_eq!(m.meter.event("upcall"), 1, "the kmalloc itself was sync");
+        assert_eq!(hs.upcalls, 2, "one flushed entry + one sync upcall");
+    }
+
+    #[test]
+    fn full_ring_forces_flush_and_high_water_raises_softirq() {
+        let (mut m, mut kernel, mut xen, mut svm, mut hs) = setup_deferred();
+        hs.engine.set_capacity(4);
+        hs.upcall_routines.insert("dma_unmap_single".into());
+        for i in 0..6u32 {
+            call(
+                &mut hs,
+                "dma_unmap_single",
+                &mut m,
+                &mut kernel,
+                &mut xen,
+                &mut svm,
+                &[0x1000 * i, 64],
+            )
+            .unwrap();
+        }
+        assert_eq!(hs.engine.stats.forced_flushes, 1, "5th enqueue flushed");
+        assert_eq!(hs.engine.stats.flushes, 1);
+        assert_eq!(hs.engine.depth(), 2);
+        assert!(
+            xen.softirqs.contains(&crate::xen::Softirq::UpcallFlush),
+            "high-water kick scheduled"
+        );
+        assert_eq!(m.meter.event("upcall_forced_flush"), 1);
+        // Completions for the flushed four are all posted, FIFO ids.
+        assert_eq!(hs.engine.pending_completions(), 4);
+        for id in 1..=4u64 {
+            assert!(hs.engine.take_completion(id).is_some(), "cont {id}");
+        }
     }
 
     #[test]

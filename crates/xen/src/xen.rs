@@ -24,6 +24,12 @@ pub enum Softirq {
         /// Which NIC raised the interrupt.
         nic: u32,
     },
+    /// Drain the deferred-upcall ring: raised when the ring crosses its
+    /// high-water mark, so queued upcalls get a bounded-latency kick even
+    /// if no burst-pass flush point arrives soon. Duplicate raises
+    /// coalesce like any softirq; if a natural flush drained the ring
+    /// first, the handler is a no-op.
+    UpcallFlush,
 }
 
 /// The Xen-like hypervisor state machine.

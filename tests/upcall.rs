@@ -1,0 +1,232 @@
+//! The deferred-upcall engine, end to end: mode equivalence, completion
+//! ordering, queue-overflow forced flushes, latency percentiles and the
+//! headline amortization (two switches per *flush* instead of per
+//! *call*).
+
+use twindrivers::measure::upcall_latency;
+use twindrivers::{throughput, Config, System, SystemOptions, UpcallMode, TESTBED_NICS};
+
+fn build(mode: UpcallMode, upcalls: usize) -> System {
+    let opts = SystemOptions {
+        upcall_count: upcalls,
+        upcall_mode: mode,
+        ..SystemOptions::default()
+    };
+    System::build_with(Config::TwinDrivers, &opts).expect("build")
+}
+
+#[test]
+fn sync_is_the_default_and_deferred_idles_without_forced_upcalls() {
+    // With no routines forced onto the upcall path the engine never
+    // engages: a deferred-mode system is cycle-for-cycle identical to
+    // the default sync build.
+    let mut sync = build(UpcallMode::Sync, 0);
+    let bs = sync.measure_tx(40).expect("sync measure");
+    let mut defer = build(UpcallMode::Deferred, 0);
+    let bd = defer.measure_tx(40).expect("deferred measure");
+    assert_eq!(bs.per_domain, bd.per_domain, "cycle-exact with engine off");
+    assert_eq!(defer.machine.meter.event("upcall_flush"), 0);
+    assert_eq!(defer.machine.meter.event("upcall_enqueue"), 0);
+    let hs = defer.world.hyper.as_ref().unwrap();
+    assert_eq!(hs.engine.stats.enqueued, 0);
+    // And the default options really are sync mode.
+    assert_eq!(SystemOptions::default().upcall_mode, UpcallMode::Sync);
+}
+
+#[test]
+fn deferred_traffic_is_equivalent_to_sync_at_full_forcing() {
+    // All nine forceable routines on the upcall path: the deferred
+    // engine must move exactly the same traffic as the synchronous path
+    // — same wire frames, same guest deliveries, same pool state.
+    let mut sync = build(UpcallMode::Sync, 9);
+    let mut defer = build(UpcallMode::Deferred, 9);
+    for sys in [&mut sync, &mut defer] {
+        for burst in [1usize, 8, 32, 5] {
+            assert_eq!(sys.transmit_burst(burst).unwrap(), burst);
+        }
+        for _ in 0..12 {
+            sys.receive_one().unwrap();
+        }
+    }
+    assert_eq!(sync.take_wire_frames(), defer.take_wire_frames());
+    assert_eq!(sync.delivered_rx(), defer.delivered_rx());
+    let gs = sync.guest.unwrap();
+    let gd = defer.guest.unwrap();
+    assert_eq!(
+        sync.world.xen.as_ref().unwrap().domain(gs).rx_delivered,
+        defer.world.xen.as_ref().unwrap().domain(gd).rx_delivered,
+    );
+    assert_eq!(
+        sync.world.kernel.pool.available(),
+        defer.world.kernel.pool.available(),
+        "every deferred free executed"
+    );
+    assert_eq!(
+        sync.world.kernel.hyper_pool.as_ref().unwrap().available(),
+        defer.world.kernel.hyper_pool.as_ref().unwrap().available(),
+    );
+    // The deferred run actually deferred: flushes happened, and the ring
+    // is empty at the end of every pass.
+    let hs = defer.world.hyper.as_ref().unwrap();
+    assert!(hs.engine.stats.flushes > 0);
+    assert_eq!(hs.engine.depth(), 0);
+}
+
+#[test]
+fn deferred_amortizes_switches_per_flush_not_per_call() {
+    // Acceptance: at 4+ forced upcalls and burst 32, the deferred
+    // engine sustains at least 3x the synchronous throughput.
+    let mut sync = build(UpcallMode::Sync, 4);
+    let ts = sync.measure_tx_burst(32, 64).expect("sync sweep");
+    let mbps_sync = throughput(ts.breakdown.total(), TESTBED_NICS).mbps;
+    let mut defer = build(UpcallMode::Deferred, 4);
+    let td = defer.measure_tx_burst(32, 64).expect("deferred sweep");
+    let mbps_defer = throughput(td.breakdown.total(), TESTBED_NICS).mbps;
+    assert!(
+        mbps_defer >= 3.0 * mbps_sync,
+        "deferred {mbps_defer:.0} Mb/s vs sync {mbps_sync:.0} Mb/s (needs >= 3x)"
+    );
+    // The mechanism behind the number: switches collapse from two per
+    // upcall to two per flush.
+    let sync_switches = sync.machine.meter.event("domain_switch");
+    let defer_switches = defer.machine.meter.event("domain_switch");
+    assert!(
+        defer_switches * 4 < sync_switches,
+        "switches {defer_switches} vs {sync_switches}"
+    );
+    assert!(defer.machine.meter.event("upcall_flush") > 0);
+}
+
+#[test]
+fn completions_of_the_same_routine_stay_fifo() {
+    let mut sys = build(UpcallMode::Deferred, 9);
+    // Drive a burst so the driver's own frees/unmaps queue and flush.
+    assert_eq!(sys.transmit_burst(16).unwrap(), 16);
+    assert_eq!(sys.transmit_burst(16).unwrap(), 16);
+    let hs = sys.world.hyper.as_ref().unwrap();
+    assert!(hs.engine.stats.completions > 0);
+    // Enqueue several calls of one routine directly and flush once:
+    // completions must come back in enqueue order (FIFO), matched by
+    // monotonically increasing continuation ids.
+    let (ids, completions) = {
+        let twindrivers::system::World {
+            kernel, xen, hyper, ..
+        } = &mut sys.world;
+        let hs = hyper.as_mut().unwrap();
+        let xen = xen.as_mut().unwrap();
+        let ids: Vec<u64> = (0..5u32)
+            .map(|i| {
+                hs.enqueue_upcall(
+                    "dma_unmap_single",
+                    vec![0x1000 + i, 64],
+                    &mut sys.machine,
+                    kernel,
+                    xen,
+                )
+                .unwrap()
+            })
+            .collect();
+        hs.flush_upcalls(&mut sys.machine, kernel, xen).unwrap();
+        let completions: Vec<_> = ids
+            .iter()
+            .map(|id| hs.engine.take_completion(*id).unwrap())
+            .collect();
+        (ids, completions)
+    };
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "monotonic cont ids");
+    for (i, c) in completions.iter().enumerate() {
+        assert_eq!(c.routine, "dma_unmap_single");
+        assert_eq!(c.cont_id, ids[i], "completion order matches enqueue");
+    }
+}
+
+#[test]
+fn queue_overflow_forces_a_flush_and_loses_nothing() {
+    let opts = SystemOptions {
+        upcall_count: 9,
+        upcall_mode: UpcallMode::Deferred,
+        upcall_queue_capacity: 8,
+        ..SystemOptions::default()
+    };
+    let mut sys = System::build_with(Config::TwinDrivers, &opts).expect("build");
+    // A burst of 32 queues far more than 8 deferred calls (frees, maps,
+    // unmaps, unlock), so the tiny ring must force intermediate flushes
+    // — and still deliver every frame.
+    assert_eq!(sys.transmit_burst(32).unwrap(), 32);
+    assert_eq!(sys.take_wire_frames().len(), 32);
+    let hs = sys.world.hyper.as_ref().unwrap();
+    assert!(
+        hs.engine.stats.forced_flushes > 0,
+        "capacity 8 must overflow on a 32-burst"
+    );
+    assert!(
+        hs.engine.stats.max_depth <= 8,
+        "ring never exceeds capacity"
+    );
+    assert_eq!(hs.engine.depth(), 0, "end-of-pass flush drains the rest");
+    assert_eq!(
+        hs.engine.stats.completions, hs.engine.stats.enqueued,
+        "every queued upcall completed"
+    );
+}
+
+#[test]
+fn deferral_keeps_tail_latency_bounded_and_measured() {
+    // Sync latency: every upcall completes within its own switch-pair.
+    let mut sync = build(UpcallMode::Sync, 4);
+    sync.measure_tx_burst(32, 64).expect("sync");
+    let ls = upcall_latency(&sync);
+    assert!(ls.samples > 0);
+    let m = &sync.machine;
+    assert!(
+        ls.p50 >= 2 * m.cost.domain_switch,
+        "sync upcalls pay their switches ({} cyc)",
+        ls.p50
+    );
+    // Deferred: completion waits for the flush, so p99 grows — but must
+    // stay bounded by roughly one burst pass of work, not diverge.
+    let mut defer = build(UpcallMode::Deferred, 4);
+    defer.measure_tx_burst(32, 64).expect("deferred");
+    let ld = upcall_latency(&defer);
+    assert!(ld.samples > 0);
+    assert!(ld.p50 <= ld.p99 && ld.p99 <= ld.max);
+    assert!(
+        ld.p99 > ls.p99,
+        "deferral trades completion latency ({} vs {}) for throughput",
+        ld.p99,
+        ls.p99
+    );
+    let pass_budget = 32 * 25_000;
+    assert!(
+        ld.p99 < pass_budget,
+        "deferred p99 {} must stay under one pass of work {}",
+        ld.p99,
+        pass_budget
+    );
+}
+
+#[test]
+fn polled_rx_flushes_deferred_upcalls() {
+    let mut sys = build(UpcallMode::Deferred, 9);
+    // Fill descriptors without the interrupt path, then poll: the reap
+    // queues unmaps/frees/allocs and the polled pass must flush them.
+    let frames: Vec<_> = (0..8)
+        .map(|i| twin_net::Frame {
+            dst: twin_net::MacAddr::for_guest(1),
+            src: twindrivers::peer_mac(),
+            ethertype: twin_net::EtherType::Ipv4,
+            payload_len: twin_net::MTU,
+            flow: 3,
+            seq: i,
+        })
+        .collect();
+    assert_eq!(
+        sys.world.nics[0].deliver_batch(&mut sys.machine.phys, &frames),
+        8
+    );
+    assert_eq!(sys.poll_rx_batch().unwrap(), 8);
+    assert_eq!(sys.delivered_rx(), 8);
+    let hs = sys.world.hyper.as_ref().unwrap();
+    assert_eq!(hs.engine.depth(), 0, "polled pass drained the ring");
+    assert!(hs.engine.stats.flushes > 0);
+}
