@@ -2,7 +2,8 @@
 """Bench-regression gate for the sweep harnesses.
 
 Compares a freshly produced sweep JSON (BENCH_shard.json,
-BENCH_upcall.json) against its committed baseline and fails (exit 1)
+BENCH_upcall.json, BENCH_itr.json) against its committed baseline and
+fails (exit 1)
 when any sweep point's amortized cycles/packet regresses by more than
 the tolerance (default 10%), or when a sweep point disappears. Sweep
 points present in the current run but absent from the baseline are
@@ -13,7 +14,7 @@ should be accompanied by a refreshed baseline (regenerate with e.g.
 cp BENCH_shard.json bench/baseline.json`).
 
 Entries are keyed by their identity fields (config, nics, burst,
-upcalls, mode — whichever are present) and compared on every
+upcalls, itr, mode — whichever are present) and compared on every
 `*_cycles_per_packet` field both sides share.
 
 Usage: check_regression.py BASELINE CURRENT [--tolerance 0.10]
@@ -24,7 +25,7 @@ import json
 import sys
 
 # Fields that identify a sweep point; everything else is a measurement.
-ID_FIELDS = ("config", "nics", "burst", "upcalls", "mode")
+ID_FIELDS = ("config", "nics", "burst", "upcalls", "itr", "mode")
 
 
 def key_of(entry):

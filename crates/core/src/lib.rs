@@ -98,6 +98,28 @@
 //! (`cargo bench -p twin-bench --bench upcall_sweep` emits
 //! `BENCH_upcall.json`).
 //!
+//! ## The virtual-time engine
+//!
+//! Every time-driven feature keys on [`twin_machine::VirtualClock`]:
+//! a monotonic cycle counter advanced by the cost accounting itself
+//! (charged work *is* elapsed time; [`System::run_idle`] advances it
+//! without charging, firing due virtual timers event-driven along the
+//! way). Kernel timers live in a cycles-keyed
+//! [`twin_kernel::TimerWheel`] (O(due) expiry,
+//! [`twin_kernel::CYCLES_PER_JIFFY`] conversion); each NIC models the
+//! real e1000 `ITR` register — IRQ *delivery* is suppressed until the
+//! throttling window opens while the cause stays latched
+//! ([`SystemOptions::itr`], [`System::set_itr`]; delay, never drop);
+//! and [`SystemOptions::upcall_flush_deadline_cycles`] arms a
+//! deadline-driven upcall flush so an idle system's deferred upcalls
+//! complete in bounded time (serviced flush-before-IRQ against the
+//! moderation timer). [`System::measure_rx_moderated`] paces arrivals
+//! on the virtual clock and reports the latency/throughput trade-off
+//! (`cargo bench -p twin-bench --bench moderation_sweep` emits
+//! `BENCH_itr.json`): at burst 32 on 4 NICs, moderation cuts
+//! interrupts/packet ≥ 4× within 2× of the unmoderated p99, and
+//! ITR 0 with no deadline stays cycle-exact with the PR 3 path.
+//!
 //! ```no_run
 //! use twindrivers::{Config, System};
 //!
@@ -121,7 +143,7 @@ pub mod system;
 pub use iommu::Iommu;
 pub use measure::{
     measure_aggregate_throughput, percentile, throughput, upcall_latency, AggregateThroughput,
-    Breakdown, BurstMeasurement, LatencyStats, Throughput, CPU_HZ, TESTBED_NICS,
+    Breakdown, BurstMeasurement, LatencyStats, ModeratedRx, Throughput, CPU_HZ, TESTBED_NICS,
 };
 pub use system::{
     peer_mac, Config, ShardPolicy, System, SystemError, SystemOptions, UpcallMode, World, MAX_BURST,

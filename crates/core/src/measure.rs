@@ -221,6 +221,59 @@ impl AggregateThroughput {
     }
 }
 
+/// One point of the interrupt-moderation sweep: amortized receive cost,
+/// interrupt rate and arrival-to-delivery latency percentiles at a fixed
+/// `ITR` setting under a paced arrival process (see
+/// [`System::measure_rx_moderated`]).
+#[derive(Clone, Debug)]
+pub struct ModeratedRx {
+    /// NICs driven concurrently.
+    pub nics: u32,
+    /// Frames per scheduled arrival burst.
+    pub burst: usize,
+    /// `ITR` register setting ([`twin_nic::ITR_UNIT_CYCLES`]-cycle
+    /// units; 0 = unmoderated).
+    pub itr: u32,
+    /// Scheduled inter-burst gap in virtual cycles (the offered load).
+    pub gap_cycles: u64,
+    /// Frames measured.
+    pub packets: u64,
+    /// Per-packet cycle breakdown (idle time charges nothing, so this is
+    /// pure processing cost).
+    pub breakdown: Breakdown,
+    /// Hardware interrupts dispatched per packet — the side moderation
+    /// shrinks.
+    pub irqs_per_packet: f64,
+    /// Deliveries the ITR window held back (later coalesced into one
+    /// interrupt).
+    pub moderated_irqs: u64,
+    /// Arrival-to-delivery latency percentiles — the side moderation
+    /// spends.
+    pub latency: LatencyStats,
+}
+
+impl ModeratedRx {
+    /// Receive throughput implied by the amortized per-packet cost over
+    /// this system's links.
+    pub fn throughput(&self) -> Throughput {
+        throughput(self.breakdown.total(), self.nics)
+    }
+
+    /// One sweep-table row.
+    pub fn row(&self) -> String {
+        format!(
+            "nics {:>2}  burst {:>4}  itr {:>6}  cyc/pkt {:>7.0}  irqs/pkt {:>6.3}  p50 {:>9}  p99 {:>9}",
+            self.nics,
+            self.burst,
+            self.itr,
+            self.breakdown.total(),
+            self.irqs_per_packet,
+            self.latency.p50,
+            self.latency.p99,
+        )
+    }
+}
+
 /// Measures aggregate RX+TX throughput of a (possibly multi-NIC) system
 /// at a fixed burst size: `packets` packets move in each direction in
 /// bursts of `burst`, sharded across the NICs by the system's policy;

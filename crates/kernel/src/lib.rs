@@ -29,8 +29,9 @@ pub use heap::Heap;
 pub use loader::{load_driver, LoadError, LoadedDriver};
 pub use skb::{SkBuff, SkbPool, SKB_HDR_SIZE};
 pub use support::{
-    defer_policy, DeferClass, Dom0Kernel, RxMode, Trace, KNOWN_ROUTINES, MMIO_BASE,
-    TABLE1_DEFER_POLICY, TABLE1_FASTPATH, UPCALL_CONFLICTS, UPCALL_MAX_ARGS,
+    defer_policy, DeferClass, Dom0Kernel, RxMode, Timer, TimerWheel, Trace, CYCLES_PER_JIFFY,
+    KNOWN_ROUTINES, MMIO_BASE, TABLE1_DEFER_POLICY, TABLE1_FASTPATH, UPCALL_CONFLICTS,
+    UPCALL_MAX_ARGS, WHEEL_SLOTS,
 };
 
 use twin_machine::{run, Cpu, Env, ExecMode, Fault, Machine, SpaceId, StopReason};
@@ -427,8 +428,11 @@ mod tests {
     #[test]
     fn watchdog_timer_rearms_and_reads_stats() {
         let mut s = bring_up();
-        s.world.kernel.tick = 100;
-        let due = s.world.kernel.take_due_timers();
+        // Let 100 jiffies of virtual time elapse (probe armed the
+        // watchdog with a 100-jiffy delta relative to "now").
+        s.m.meter.advance_idle(101 * CYCLES_PER_JIFFY);
+        let now = s.m.meter.now();
+        let due = s.world.kernel.take_due_timers(now);
         assert_eq!(due.len(), 1);
         call_function(
             &mut s.m,
@@ -754,8 +758,9 @@ mod tests {
         let (mut m, mut world, dom0, driver, netdevs) = bring_up_multi(2);
         let _ = netdevs;
         assert_eq!(world.kernel.timers.len(), 2, "one watchdog per NIC");
-        world.kernel.tick = 100;
-        let due = world.kernel.take_due_timers();
+        m.meter.advance_idle(101 * CYCLES_PER_JIFFY);
+        let now = m.meter.now();
+        let due = world.kernel.take_due_timers(now);
         assert_eq!(due.len(), 2);
         for t in &due {
             call_function(

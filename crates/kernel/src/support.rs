@@ -63,17 +63,200 @@ impl Trace {
     }
 }
 
+/// Virtual cycles per kernel jiffy: the `mod_timer`/`jiffies_read` unit.
+/// 30 000 cycles is 10 µs on the modeled 3.0 GHz Xeon — a fine-grained
+/// (tickless-style) jiffy so timer deltas stay in the same numeric range
+/// the driver always used while the clock underneath is cycle-accurate.
+pub const CYCLES_PER_JIFFY: u64 = 30_000;
+
+/// Timer-wheel slot count (one revolution = `WHEEL_SLOTS` jiffies).
+pub const WHEEL_SLOTS: usize = 64;
+
 /// One pending kernel timer.
 #[derive(Copy, Clone, Debug)]
 pub struct Timer {
     /// ISA handler address.
     pub handler: u64,
-    /// Absolute tick at which it fires.
+    /// Absolute **virtual cycle** at which it fires (armed by `mod_timer`
+    /// as `now + delta_jiffies * CYCLES_PER_JIFFY`).
     pub expires_at: u64,
     /// Cookie passed to the handler when it fires (Linux
     /// `timer_list.data`; the e1000 watchdog stores its device index so
     /// each NIC's timer operates on its own adapter slot).
     pub data: u64,
+}
+
+impl Timer {
+    /// The jiffy this timer expires in.
+    fn jiffy(&self) -> u64 {
+        self.expires_at / CYCLES_PER_JIFFY
+    }
+}
+
+/// A single-level timer wheel keyed on virtual cycles, with a far list
+/// for timers beyond one revolution. Expiry is a bucket pop — cost is
+/// O(due) plus the slots the cursor walks — instead of the old
+/// drain-everything-and-reinsert scan, which touched every armed timer on
+/// every poll (the coarse-tick hazard: 1 000 armed watchdogs made every
+/// idle poll O(1 000)).
+#[derive(Clone, Debug)]
+pub struct TimerWheel {
+    /// Near timers, bucketed by `jiffy % WHEEL_SLOTS`.
+    slots: Vec<Vec<Timer>>,
+    /// Timers more than one revolution ahead; cascaded in as the cursor
+    /// wraps.
+    far: Vec<Timer>,
+    /// The next jiffy the wheel will process: every timer expiring in an
+    /// earlier jiffy has already been popped.
+    cursor: u64,
+    len: usize,
+    /// Timers examined or moved by wheel operations — the observable cost
+    /// metric the O(due) regression test asserts on.
+    pub touched: u64,
+}
+
+impl Default for TimerWheel {
+    fn default() -> TimerWheel {
+        TimerWheel::new()
+    }
+}
+
+impl TimerWheel {
+    /// Creates an empty wheel at jiffy 0.
+    pub fn new() -> TimerWheel {
+        TimerWheel {
+            slots: vec![Vec::new(); WHEEL_SLOTS],
+            far: Vec::new(),
+            cursor: 0,
+            len: 0,
+            touched: 0,
+        }
+    }
+
+    /// Armed timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arms a timer. A timer already in the past lands in the cursor's
+    /// own bucket and fires on the next expiry pass.
+    pub fn arm(&mut self, t: Timer) {
+        self.touched += 1;
+        self.len += 1;
+        let j = t.jiffy().max(self.cursor);
+        if j - self.cursor < WHEEL_SLOTS as u64 {
+            self.slots[(j % WHEEL_SLOTS as u64) as usize].push(t);
+        } else {
+            self.far.push(t);
+        }
+    }
+
+    /// Removes every timer matching `pred`; returns how many were
+    /// removed. (The O(armed) cost is fine here: disarm is a control-path
+    /// operation, unlike the per-poll expiry.)
+    pub fn disarm_where<F: Fn(&Timer) -> bool>(&mut self, pred: F) -> usize {
+        let before = self.len;
+        for slot in &mut self.slots {
+            slot.retain(|t| !pred(t));
+        }
+        self.far.retain(|t| !pred(t));
+        self.len = self.slots.iter().map(Vec::len).sum::<usize>() + self.far.len();
+        before - self.len
+    }
+
+    /// Iterates every armed timer (test observability).
+    pub fn iter(&self) -> impl Iterator<Item = &Timer> {
+        self.slots.iter().flatten().chain(self.far.iter())
+    }
+
+    /// The earliest armed expiry, in cycles (O(armed); used to arm the
+    /// idle-step scheduler, not on the datapath).
+    pub fn next_due(&self) -> Option<u64> {
+        self.iter().map(|t| t.expires_at).min()
+    }
+
+    /// Moves far-list timers that are now within one revolution of the
+    /// cursor into their buckets.
+    fn cascade(&mut self) {
+        let cursor = self.cursor;
+        let mut moved = Vec::new();
+        self.far.retain(|t| {
+            if t.jiffy().max(cursor) - cursor < WHEEL_SLOTS as u64 {
+                moved.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+        self.touched += self.far.len() as u64 + moved.len() as u64;
+        for t in moved {
+            self.slots[(t.jiffy().max(cursor) % WHEEL_SLOTS as u64) as usize].push(t);
+        }
+    }
+
+    /// Pops every timer with `expires_at <= now`, in expiry order within
+    /// a bucket walk. Advances the cursor past fully elapsed jiffies; the
+    /// current (partial) jiffy is partitioned cycle-accurately and
+    /// revisited, so a timer expiring later in the same jiffy is never
+    /// early or a revolution late.
+    pub fn expire(&mut self, now: u64) -> Vec<Timer> {
+        let mut due = Vec::new();
+        if self.len == 0 {
+            self.cursor = self.cursor.max(now / CYCLES_PER_JIFFY);
+            return due;
+        }
+        let target = now / CYCLES_PER_JIFFY;
+        while self.cursor < target {
+            // Fully elapsed jiffy: everything bucketed for it is due;
+            // same-residue timers from later revolutions stay.
+            let slot = (self.cursor % WHEEL_SLOTS as u64) as usize;
+            if !self.slots[slot].is_empty() {
+                let entries = std::mem::take(&mut self.slots[slot]);
+                self.touched += entries.len() as u64;
+                for t in entries {
+                    if t.expires_at <= now {
+                        due.push(t);
+                    } else {
+                        self.slots[slot].push(t);
+                    }
+                }
+            }
+            self.cursor += 1;
+            if self.cursor % WHEEL_SLOTS as u64 == 0 && !self.far.is_empty() {
+                self.cascade();
+            }
+            // Large jumps: one full revolution visits every bucket, so
+            // anything older is already handled — skip ahead.
+            if target - self.cursor >= WHEEL_SLOTS as u64
+                && self.slots.iter().all(Vec::is_empty)
+                && self.far.is_empty()
+            {
+                self.cursor = target;
+            }
+        }
+        // The partial current jiffy: cycle-accurate partition, cursor
+        // stays so the bucket is revisited until the jiffy elapses.
+        let slot = (target % WHEEL_SLOTS as u64) as usize;
+        if !self.slots[slot].is_empty() {
+            let entries = std::mem::take(&mut self.slots[slot]);
+            self.touched += entries.len() as u64;
+            for t in entries {
+                if t.expires_at <= now {
+                    due.push(t);
+                } else {
+                    self.slots[slot].push(t);
+                }
+            }
+        }
+        self.len -= due.len();
+        due.sort_by_key(|t| t.expires_at);
+        due
+    }
 }
 
 /// What dom0 does with packets the driver hands to `netif_rx`.
@@ -105,10 +288,9 @@ pub struct Dom0Kernel {
     pub rx_delivered: Vec<Frame>,
     /// IRQ number → ISA handler address (`request_irq`).
     pub irq_handlers: BTreeMap<u32, u64>,
-    /// Pending timers.
-    pub timers: Vec<Timer>,
-    /// Current tick (advanced by the harness).
-    pub tick: u64,
+    /// Pending timers, keyed on virtual cycles (`mod_timer` deltas are
+    /// jiffies, converted via [`CYCLES_PER_JIFFY`]).
+    pub timers: TimerWheel,
     /// Call trace for Table 1.
     pub trace: Trace,
     /// Destination of `netif_rx` packets.
@@ -142,8 +324,7 @@ impl Dom0Kernel {
             hyper_pool: None,
             rx_delivered: Vec::new(),
             irq_handlers: BTreeMap::new(),
-            timers: Vec::new(),
-            tick: 0,
+            timers: TimerWheel::new(),
             trace: Trace::new(),
             rx_mode: RxMode::LocalStack,
             printk_count: 0,
@@ -190,13 +371,11 @@ impl Dom0Kernel {
         Ok(())
     }
 
-    /// Timers due at the current tick; removes them from the pending set.
-    pub fn take_due_timers(&mut self) -> Vec<Timer> {
-        let tick = self.tick;
-        let (due, pending): (Vec<Timer>, Vec<Timer>) =
-            self.timers.drain(..).partition(|t| t.expires_at <= tick);
-        self.timers = pending;
-        due
+    /// Timers due at virtual time `now` (cycles); pops them from the
+    /// wheel in O(due), leaving unexpired timers untouched in their
+    /// buckets.
+    pub fn take_due_timers(&mut self, now: u64) -> Vec<Timer> {
+        self.timers.expire(now)
     }
 
     /// Handles a support-routine call from driver code. Returns `None`
@@ -391,17 +570,17 @@ impl Dom0Kernel {
                 // handler armed with different data (one watchdog per
                 // NIC) coexists.
                 self.timers
-                    .retain(|t| !(t.handler == handler && t.data == data));
-                self.timers.push(Timer {
+                    .disarm_where(|t| t.handler == handler && t.data == data);
+                self.timers.arm(Timer {
                     handler,
-                    expires_at: self.tick + delta,
+                    expires_at: m.meter.now() + delta * CYCLES_PER_JIFFY,
                     data,
                 });
                 ret(cpu, 0);
             }
             "del_timer" | "del_timer_sync" => {
                 let handler = cpu.arg(m, 0)? as u64;
-                self.timers.retain(|t| t.handler != handler);
+                self.timers.disarm_where(|t| t.handler == handler);
                 ret(cpu, 0);
             }
             "netif_start_queue" | "netif_wake_queue" => {
@@ -500,7 +679,7 @@ impl Dom0Kernel {
                     ret(cpu, 0);
                 }
             }
-            "jiffies_read" => ret(cpu, self.tick as u32),
+            "jiffies_read" => ret(cpu, (m.meter.now() / CYCLES_PER_JIFFY) as u32),
             "cpu_to_le32" | "le32_to_cpu" => {
                 let v = cpu.arg(m, 0)?;
                 ret(cpu, v);
@@ -777,22 +956,151 @@ mod tests {
         let mut m = Machine::new();
         let s = m.new_space();
         let mut k = Dom0Kernel::new(&mut m, s, 4).unwrap();
-        k.timers.push(Timer {
+        k.timers.arm(Timer {
             handler: 0x100,
-            expires_at: 5,
+            expires_at: 5 * CYCLES_PER_JIFFY,
             data: 0,
         });
-        k.timers.push(Timer {
+        k.timers.arm(Timer {
             handler: 0x200,
-            expires_at: 10,
+            expires_at: 10 * CYCLES_PER_JIFFY,
             data: 1,
         });
-        k.tick = 4;
-        assert!(k.take_due_timers().is_empty());
-        k.tick = 7;
-        let due = k.take_due_timers();
+        assert!(k.take_due_timers(4 * CYCLES_PER_JIFFY).is_empty());
+        let due = k.take_due_timers(7 * CYCLES_PER_JIFFY);
         assert_eq!(due.len(), 1);
         assert_eq!(due[0].handler, 0x100);
         assert_eq!(k.timers.len(), 1);
+    }
+
+    fn t(handler: u64, expires_at: u64, data: u64) -> Timer {
+        Timer {
+            handler,
+            expires_at,
+            data,
+        }
+    }
+
+    #[test]
+    fn wheel_partitions_due_timers_at_wheel_boundaries() {
+        // Timers straddling a revolution boundary (jiffy WHEEL_SLOTS - 1
+        // vs WHEEL_SLOTS) and sharing a bucket residue across revolutions
+        // (jiffy 2 vs jiffy 2 + WHEEL_SLOTS) must partition exactly.
+        let w = WHEEL_SLOTS as u64;
+        let mut wheel = TimerWheel::new();
+        wheel.arm(t(0x1, (w - 1) * CYCLES_PER_JIFFY, 0));
+        wheel.arm(t(0x2, w * CYCLES_PER_JIFFY, 0));
+        wheel.arm(t(0x3, 2 * CYCLES_PER_JIFFY, 0));
+        wheel.arm(t(0x4, (2 + w) * CYCLES_PER_JIFFY, 0)); // same residue, next rev
+        assert_eq!(wheel.len(), 4);
+
+        let due = wheel.expire(3 * CYCLES_PER_JIFFY);
+        assert_eq!(due.len(), 1, "only the first-revolution residue fires");
+        assert_eq!(due[0].handler, 0x3);
+
+        let due = wheel.expire((w - 1) * CYCLES_PER_JIFFY);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].handler, 0x1);
+
+        let due = wheel.expire(w * CYCLES_PER_JIFFY);
+        assert_eq!(due.len(), 1, "boundary jiffy fires alone");
+        assert_eq!(due[0].handler, 0x2);
+
+        let due = wheel.expire((2 + w) * CYCLES_PER_JIFFY);
+        assert_eq!(due.len(), 1, "second-revolution residue fires a rev later");
+        assert_eq!(due[0].handler, 0x4);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn wheel_is_cycle_accurate_within_a_jiffy() {
+        // Two timers in the same jiffy, different cycles: expiry between
+        // them fires only the earlier one, and the later one still fires
+        // in the same jiffy (never a revolution late).
+        let mut wheel = TimerWheel::new();
+        let base = 7 * CYCLES_PER_JIFFY;
+        wheel.arm(t(0xa, base + 100, 0));
+        wheel.arm(t(0xb, base + 900, 0));
+        let due = wheel.expire(base + 500);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].handler, 0xa);
+        let due = wheel.expire(base + 900);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].handler, 0xb);
+    }
+
+    #[test]
+    fn wheel_rearm_from_within_a_handler_window() {
+        // The watchdog pattern: the handler re-arms itself (same handler,
+        // same data) while its expiry pass is being consumed — the
+        // re-armed timer fires on the *next* interval, exactly once.
+        let mut wheel = TimerWheel::new();
+        wheel.arm(t(0x100, 100 * CYCLES_PER_JIFFY, 3));
+        let due = wheel.expire(100 * CYCLES_PER_JIFFY);
+        assert_eq!(due.len(), 1);
+        // "Inside the handler": re-arm relative to the fire time.
+        let again = Timer {
+            handler: due[0].handler,
+            expires_at: due[0].expires_at + 100 * CYCLES_PER_JIFFY,
+            data: due[0].data,
+        };
+        wheel.disarm_where(|x| x.handler == again.handler && x.data == again.data);
+        wheel.arm(again);
+        assert!(wheel.expire(150 * CYCLES_PER_JIFFY).is_empty());
+        let due = wheel.expire(200 * CYCLES_PER_JIFFY);
+        assert_eq!(due.len(), 1, "re-armed timer fires once");
+        assert_eq!(due[0].data, 3, "the data cookie survives the round trip");
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn wheel_keeps_per_device_data_cookies_distinct() {
+        // PR 2's contract: one watchdog per NIC — same handler, distinct
+        // `data` cookies — must coexist, and re-arming one must not
+        // disturb the other (the cycles-keyed rewrite preserves this).
+        let mut wheel = TimerWheel::new();
+        wheel.arm(t(0x100, 100 * CYCLES_PER_JIFFY, 0));
+        wheel.arm(t(0x100, 100 * CYCLES_PER_JIFFY, 1));
+        assert_eq!(wheel.len(), 2);
+        // Re-arm device 0 only (mod_timer replacement semantics).
+        wheel.disarm_where(|x| x.handler == 0x100 && x.data == 0);
+        wheel.arm(t(0x100, 300 * CYCLES_PER_JIFFY, 0));
+        let due = wheel.expire(100 * CYCLES_PER_JIFFY);
+        assert_eq!(due.len(), 1, "only device 1's watchdog is due");
+        assert_eq!(due[0].data, 1);
+        let due = wheel.expire(300 * CYCLES_PER_JIFFY);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].data, 0);
+    }
+
+    #[test]
+    fn wheel_expiry_is_o_due_with_a_thousand_armed_timers() {
+        // The coarse-tick hazard this wheel fixes: the old
+        // `take_due_timers` drained *all* timers and re-inserted the
+        // unexpired ones on every poll — 1 000 armed timers made 50 idle
+        // polls touch 50 000 entries. The wheel's expiry only touches
+        // due timers (plus one far-list cascade per revolution).
+        let mut wheel = TimerWheel::new();
+        for i in 0..1_000u64 {
+            // All far in the future, spread across many revolutions.
+            wheel.arm(t(0x100 + i, (10_000 + i * 7) * CYCLES_PER_JIFFY, i));
+        }
+        let after_arm = wheel.touched;
+        assert_eq!(after_arm, 1_000, "arming touches each timer once");
+        // 50 idle polls, one jiffy apart, nothing due.
+        for j in 1..=50u64 {
+            assert!(wheel.expire(j * CYCLES_PER_JIFFY).is_empty());
+        }
+        let polled = wheel.touched - after_arm;
+        assert!(
+            polled <= 2_000,
+            "idle polls touched {polled} timers (old cost: 50 x 1000 = 50000)"
+        );
+        assert_eq!(wheel.len(), 1_000, "nothing lost");
+        // And everything still fires when its time comes.
+        let due = wheel.expire(20_000 * CYCLES_PER_JIFFY);
+        assert_eq!(due.len(), 1_000);
+        assert!(due.windows(2).all(|w| w[0].expires_at <= w[1].expires_at));
+        assert!(wheel.is_empty());
     }
 }

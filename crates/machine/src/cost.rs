@@ -234,6 +234,37 @@ impl CostParams {
     }
 }
 
+/// The virtual clock: a monotonic cycle counter advanced by the cost
+/// accounting itself. Every cycle the interpreter or a model charges to
+/// *any* domain also moves this clock forward, so "when" is derived from
+/// "how much work happened" — the one coherent notion of time every
+/// time-driven feature (kernel timers, interrupt moderation, upcall-flush
+/// deadlines) keys on.
+///
+/// Unlike the per-domain totals, the clock is **never reset**: it
+/// survives [`CycleMeter::reset`] so timers armed before a measurement
+/// window still fire at the right instant inside it. Idle time (a system
+/// waiting for the wire, a harness modeling inter-arrival gaps) advances
+/// the clock *without* charging any domain via
+/// [`CycleMeter::advance_idle`], so per-packet cycle breakdowns are
+/// untouched by waiting.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: u64,
+}
+
+impl VirtualClock {
+    /// Current virtual time in cycles since machine construction.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Moves time forward by `cycles`.
+    pub fn advance(&mut self, cycles: u64) {
+        self.now += cycles;
+    }
+}
+
 /// Cycle accounting with domain attribution and named event counters.
 ///
 /// The attribution stack starts empty; charges made with no pushed domain
@@ -245,6 +276,7 @@ pub struct CycleMeter {
     stack: Vec<CostDomain>,
     events: BTreeMap<&'static str, u64>,
     insns: u64,
+    clock: VirtualClock,
 }
 
 impl CycleMeter {
@@ -272,16 +304,37 @@ impl CycleMeter {
         self.stack.last().copied().unwrap_or(CostDomain::Dom0)
     }
 
-    /// Charges `cycles` to the current domain.
+    /// Charges `cycles` to the current domain (and advances the virtual
+    /// clock by the same amount — charged work *is* elapsed time).
     #[inline]
     pub fn charge(&mut self, cycles: u64) {
         let d = self.current_domain();
         *self.per_domain.entry(d).or_insert(0) += cycles;
+        self.clock.advance(cycles);
     }
 
     /// Charges `cycles` to an explicit domain (bypassing the stack).
     pub fn charge_to(&mut self, d: CostDomain, cycles: u64) {
         *self.per_domain.entry(d).or_insert(0) += cycles;
+        self.clock.advance(cycles);
+    }
+
+    /// Current virtual time in cycles (see [`VirtualClock`]).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// The virtual clock itself.
+    pub fn clock(&self) -> VirtualClock {
+        self.clock
+    }
+
+    /// Advances the virtual clock without charging any domain: idle time
+    /// (wire inter-arrival gaps, a system waiting on a timer). Cycle
+    /// breakdowns are unaffected; only "when" moves.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        self.clock.advance(cycles);
     }
 
     /// Counts one executed instruction (for dynamic instruction stats).
@@ -337,7 +390,10 @@ impl CycleMeter {
         out
     }
 
-    /// Resets all counters (keeps the attribution stack).
+    /// Resets all counters (keeps the attribution stack). The virtual
+    /// clock is deliberately **not** reset — time is monotonic across
+    /// measurement windows, so armed timers and moderation windows stay
+    /// coherent.
     pub fn reset(&mut self) {
         self.per_domain.clear();
         self.events.clear();
@@ -400,6 +456,25 @@ mod tests {
         let d = m.delta_since(&snap);
         assert_eq!(d[&CostDomain::Driver], 50);
         assert_eq!(d[&CostDomain::Xen], 0);
+    }
+
+    #[test]
+    fn virtual_clock_tracks_all_charges_and_survives_reset() {
+        let mut m = CycleMeter::new();
+        assert_eq!(m.now(), 0);
+        m.push_domain(CostDomain::Driver);
+        m.charge(100);
+        m.pop_domain();
+        m.charge_to(CostDomain::Xen, 40);
+        assert_eq!(m.now(), 140, "every charge advances the clock");
+        m.advance_idle(1000);
+        assert_eq!(m.now(), 1140);
+        assert_eq!(m.total_cycles(), 140, "idle time charges nothing");
+        m.reset();
+        assert_eq!(m.total_cycles(), 0);
+        assert_eq!(m.now(), 1140, "the clock is monotonic across resets");
+        m.charge(5);
+        assert_eq!(m.now(), 1145);
     }
 
     #[test]

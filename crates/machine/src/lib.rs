@@ -45,7 +45,7 @@ pub mod interp;
 pub mod mem;
 pub mod space;
 
-pub use cost::{CostDomain, CostParams, CycleMeter};
+pub use cost::{CostDomain, CostParams, CycleMeter, VirtualClock};
 pub use image::{CodeImage, ImageId, LinkError};
 pub use interp::{run, Cpu, Env, ExecMode, Fault, NullEnv, StopReason};
 pub use mem::{PhysMem, PAGE_SIZE};
@@ -108,6 +108,13 @@ impl Machine {
             images: Vec::new(),
             extern_names: Vec::new(),
         }
+    }
+
+    /// Current virtual time in cycles (monotonic; advanced by every cost
+    /// charge and by explicit idle advances — see
+    /// [`cost::VirtualClock`]).
+    pub fn now_cycles(&self) -> u64 {
+        self.meter.now()
     }
 
     /// Creates a new, empty address space and returns its id.

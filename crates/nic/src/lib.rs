@@ -32,6 +32,10 @@ pub mod regs {
     pub const MDIC: u64 = 0x00020;
     /// Interrupt cause read (read-to-clear).
     pub const ICR: u64 = 0x000C0;
+    /// Interrupt throttling register: minimum inter-interrupt interval in
+    /// [`crate::ITR_UNIT_CYCLES`]-cycle units (the real part's 256 ns
+    /// granularity). 0 disables moderation.
+    pub const ITR: u64 = 0x000C4;
     /// Interrupt cause set (software-triggered causes).
     pub const ICS: u64 = 0x000C8;
     /// Interrupt mask set/read.
@@ -106,6 +110,11 @@ pub const MMIO_WINDOW: u64 = 32 * PAGE_SIZE;
 /// Link speed in bits per second (1 GbE).
 pub const LINK_BPS: u64 = 1_000_000_000;
 
+/// Cycles per `ITR` register unit: the real e1000's throttling interval
+/// granularity is 256 ns, which is 768 cycles on the modeled 3.0 GHz
+/// Xeon.
+pub const ITR_UNIT_CYCLES: u64 = 768;
+
 /// Counters a real e1000 keeps in hardware.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct NicStats {
@@ -149,6 +158,12 @@ pub struct Nic {
     ral: u32,
     rah: u32,
     stats: NicStats,
+    /// Interrupt throttling register (moderation interval in
+    /// [`ITR_UNIT_CYCLES`]-cycle units; 0 = no moderation).
+    itr: u32,
+    /// Virtual-cycle timestamp of the last *delivered* interrupt (the
+    /// moderation window anchor); `None` until the first delivery.
+    last_irq_cycles: Option<u64>,
     tx_out: Vec<Frame>,
     /// Partial multi-descriptor TX packet being accumulated.
     tx_partial: Option<(Frame, u32)>,
@@ -182,6 +197,8 @@ impl Nic {
             ral,
             rah,
             stats: NicStats::default(),
+            itr: 0,
+            last_irq_cycles: None,
             tx_out: Vec::new(),
             tx_partial: None,
             eerd: 0,
@@ -223,9 +240,61 @@ impl Nic {
         self.stats
     }
 
-    /// Whether the interrupt line is asserted (`ICR & IMS != 0`).
+    /// Whether the interrupt line is asserted (`ICR & IMS != 0`). This is
+    /// the raw latched cause — interrupt moderation does not clear it, it
+    /// only delays *delivery* (see [`Nic::irq_deliverable`]), so no
+    /// pending work is ever lost while a window is closed.
     pub fn irq_asserted(&self) -> bool {
         self.icr & self.ims != 0
+    }
+
+    /// Current `ITR` register value (moderation interval units).
+    pub fn itr(&self) -> u32 {
+        self.itr
+    }
+
+    /// The moderation interval in cycles (`ITR` × [`ITR_UNIT_CYCLES`]).
+    pub fn itr_cycles(&self) -> u64 {
+        self.itr as u64 * ITR_UNIT_CYCLES
+    }
+
+    /// True when the throttling window permits delivering an interrupt at
+    /// virtual time `now`: either moderation is off, no interrupt has
+    /// been delivered yet, or `itr_cycles` have elapsed since the last
+    /// delivery.
+    pub fn irq_allowed_at(&self, now: u64) -> bool {
+        match self.last_irq_cycles {
+            _ if self.itr == 0 => true,
+            None => true,
+            Some(last) => now >= last + self.itr_cycles(),
+        }
+    }
+
+    /// True when a latched cause can be delivered right now (asserted and
+    /// inside an open window).
+    pub fn irq_deliverable(&self, now: u64) -> bool {
+        self.irq_asserted() && self.irq_allowed_at(now)
+    }
+
+    /// When the latched cause becomes deliverable: `Some(cycle)` while a
+    /// cause is pending (the cycle is in the past if the window is
+    /// already open), `None` when nothing is latched. Used to arm the
+    /// virtual moderation timer.
+    pub fn irq_ready_at(&self) -> Option<u64> {
+        if !self.irq_asserted() {
+            return None;
+        }
+        match self.last_irq_cycles {
+            _ if self.itr == 0 => Some(0),
+            None => Some(0),
+            Some(last) => Some(last + self.itr_cycles()),
+        }
+    }
+
+    /// Records that the interrupt was delivered to software at virtual
+    /// time `now`, opening a new moderation window.
+    pub fn note_irq_delivered(&mut self, now: u64) {
+        self.last_irq_cycles = Some(now);
     }
 
     /// Number of TX descriptors in the ring (0 before TDLEN is set).
@@ -270,6 +339,7 @@ impl Nic {
                 self.icr = 0;
                 v
             }
+            regs::ITR => self.itr,
             regs::IMS => self.ims,
             regs::RCTL => self.rctl,
             regs::TCTL => self.tctl,
@@ -300,6 +370,7 @@ impl Nic {
             regs::ICS => {
                 self.icr |= val;
             }
+            regs::ITR => self.itr = val,
             regs::IMS => self.ims |= val,
             regs::IMC => self.ims &= !val,
             regs::ICR => self.icr &= !val, // write-1-to-clear
@@ -754,6 +825,49 @@ mod tests {
         // Descriptors landed in each device's own ring.
         assert_eq!(phys.read_u8(0x2000 + 12), stat::DD | stat::EOP);
         assert_eq!(phys.read_u8(0x4000 + 12), stat::DD | stat::EOP);
+    }
+
+    #[test]
+    fn itr_gates_delivery_but_keeps_the_cause_latched() {
+        let (mut nic, mut phys) = mk();
+        setup_rx(&mut nic, &mut phys, 8);
+        nic.mmio_write(&mut phys, regs::IMS, intr::RXT0);
+        // ITR = 100 units → a 76 800-cycle window.
+        nic.mmio_write(&mut phys, regs::ITR, 100);
+        assert_eq!(nic.mmio_read(regs::ITR), 100);
+        assert_eq!(nic.itr_cycles(), 100 * ITR_UNIT_CYCLES);
+
+        // First interrupt: no prior delivery, window open.
+        let f = Frame::data(nic.mac(), MacAddr::for_guest(9), 0, 0);
+        assert!(nic.deliver(&mut phys, &f));
+        assert!(nic.irq_deliverable(0));
+        nic.note_irq_delivered(1_000);
+        nic.mmio_read(regs::ICR); // handler acks
+
+        // A frame inside the window: cause latches, delivery is gated.
+        assert!(nic.deliver(&mut phys, &f));
+        assert!(nic.irq_asserted(), "cause stays latched");
+        assert!(!nic.irq_deliverable(1_000 + nic.itr_cycles() - 1));
+        assert_eq!(nic.irq_ready_at(), Some(1_000 + nic.itr_cycles()));
+        // Window elapses: deliverable, nothing was lost.
+        assert!(nic.irq_deliverable(1_000 + nic.itr_cycles()));
+    }
+
+    #[test]
+    fn itr_zero_never_gates() {
+        let (mut nic, mut phys) = mk();
+        setup_rx(&mut nic, &mut phys, 8);
+        nic.mmio_write(&mut phys, regs::IMS, intr::RXT0);
+        let f = Frame::data(nic.mac(), MacAddr::for_guest(9), 0, 0);
+        nic.deliver(&mut phys, &f);
+        nic.note_irq_delivered(500);
+        nic.deliver(&mut phys, &f);
+        // Back-to-back deliveries are allowed immediately with ITR = 0.
+        assert!(nic.irq_deliverable(500));
+        assert_eq!(nic.irq_ready_at(), Some(0), "ready since forever");
+        // And with no cause pending there is nothing to wait for.
+        nic.mmio_read(regs::ICR);
+        assert_eq!(nic.irq_ready_at(), None);
     }
 
     #[test]

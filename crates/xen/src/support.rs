@@ -167,7 +167,10 @@ impl HyperSupport {
     ) -> Result<(), Fault> {
         self.upcalls += 1;
         m.meter.count_event("upcall");
-        let cycles_before = m.meter.total_cycles();
+        // Latency accounting keys on the monotonic virtual clock (not the
+        // resettable per-domain totals), so samples spanning a
+        // measurement-window reset stay well-defined.
+        let cycles_before = m.meter.now();
         // Stub: save parameters, switch to the upcall stack.
         let c = m.cost.upcall_overhead;
         m.meter.charge_to(CostDomain::Xen, c);
@@ -188,7 +191,7 @@ impl HyperSupport {
         xen.hypercall(m);
         xen.switch_to(m, back);
         self.engine
-            .record_sync_latency(m.meter.total_cycles() - cycles_before);
+            .record_sync_latency(m.meter.now() - cycles_before);
         Ok(())
     }
 
@@ -303,7 +306,7 @@ impl HyperSupport {
             0, // cont id lo, patched below
             0, // cont id hi
         ];
-        let cycles = m.meter.total_cycles();
+        let cycles = m.meter.now();
         let cont_id = self.engine.enqueue(name, args, cycles);
         // Persist the slot: (routine id, arity, args[0..4], cont id).
         let entry = self.engine.stats.enqueued.wrapping_sub(1);
@@ -380,7 +383,7 @@ impl HyperSupport {
                     m.meter.count_event("upcall_exec");
                     let c = m.cost.upcall_complete;
                     m.meter.charge_to(CostDomain::Xen, c);
-                    self.engine.complete(entry, ret, m.meter.total_cycles());
+                    self.engine.complete(entry, ret, m.meter.now());
                 }
                 Err(e) => first_err = Some(e),
             }

@@ -102,6 +102,14 @@ pub struct UpcallEngine {
     queue: Vec<QueuedUpcall>,
     completions: Vec<Completion>,
     next_cont_id: u64,
+    /// Deadline-driven flush configuration: when set, the first enqueue
+    /// into an empty ring arms a virtual timer `deadline_cycles` ahead,
+    /// so an *idle* system's queued upcalls still complete in bounded
+    /// time (the burst-pass flush points only fire while traffic flows).
+    deadline_cycles: Option<u64>,
+    /// Virtual cycle at which the armed deadline fires; cleared by the
+    /// drain of any flush (whoever flushes first disarms it).
+    flush_due_at: Option<u64>,
     /// Cycles-to-completion per upcall (completion minus enqueue), for
     /// the latency-percentile measurement. Synchronous upcalls also
     /// record their (short) latency here.
@@ -128,8 +136,33 @@ impl UpcallEngine {
             queue: Vec::new(),
             completions: Vec::new(),
             next_cont_id: 1,
+            deadline_cycles: None,
+            flush_due_at: None,
             latency: Vec::new(),
         }
+    }
+
+    /// Configures the deadline-driven flush: `Some(cycles)` arms a
+    /// virtual timer at the first enqueue into an empty ring; `None`
+    /// (the default) disables it.
+    pub fn set_flush_deadline(&mut self, cycles: Option<u64>) {
+        self.deadline_cycles = cycles;
+    }
+
+    /// The configured flush deadline in cycles, if any.
+    pub fn flush_deadline(&self) -> Option<u64> {
+        self.deadline_cycles
+    }
+
+    /// The armed deadline's absolute fire time, if a deadline is pending.
+    pub fn flush_due_at(&self) -> Option<u64> {
+        self.flush_due_at
+    }
+
+    /// True when the armed flush deadline has elapsed at virtual time
+    /// `now` (and queued work is still pending).
+    pub fn flush_due(&self, now: u64) -> bool {
+        matches!(self.flush_due_at, Some(t) if now >= t && !self.queue.is_empty())
     }
 
     /// Selects the execution mode.
@@ -175,6 +208,12 @@ impl UpcallEngine {
     /// [`UpcallEngine::is_full`].
     pub fn enqueue(&mut self, routine: &str, args: Vec<u32>, now_cycles: u64) -> u64 {
         debug_assert!(args.len() <= UPCALL_MAX_ARGS);
+        if self.queue.is_empty() {
+            // First enqueue into an empty ring: arm the flush deadline so
+            // queued work completes in bounded time even if no burst-pass
+            // flush point ever arrives (idle system).
+            self.flush_due_at = self.deadline_cycles.map(|d| now_cycles + d);
+        }
         let cont_id = self.next_cont_id;
         self.next_cont_id += 1;
         self.queue.push(QueuedUpcall {
@@ -188,8 +227,10 @@ impl UpcallEngine {
         cont_id
     }
 
-    /// Drains the ring FIFO for a flush.
+    /// Drains the ring FIFO for a flush; disarms any pending flush
+    /// deadline (the flush satisfies it, whoever triggered it).
     pub fn drain(&mut self) -> Vec<QueuedUpcall> {
+        self.flush_due_at = None;
         std::mem::take(&mut self.queue)
     }
 
@@ -315,6 +356,29 @@ mod tests {
         // Stats and latency history survive pruning.
         assert_eq!(e.stats.completions, 1);
         assert_eq!(e.latency_samples().len(), 1);
+    }
+
+    #[test]
+    fn flush_deadline_arms_on_first_enqueue_and_disarms_on_drain() {
+        let mut e = UpcallEngine::new();
+        assert!(e.flush_due_at().is_none(), "no deadline configured");
+        e.enqueue("dev_kfree_skb_any", vec![1], 100);
+        e.drain();
+        e.set_flush_deadline(Some(5_000));
+        e.enqueue("dev_kfree_skb_any", vec![1], 1_000);
+        assert_eq!(e.flush_due_at(), Some(6_000), "armed at first enqueue");
+        // A second enqueue does not re-arm: the deadline bounds the
+        // *oldest* queued entry.
+        e.enqueue("dev_kfree_skb_any", vec![2], 4_000);
+        assert_eq!(e.flush_due_at(), Some(6_000));
+        assert!(!e.flush_due(5_999));
+        assert!(e.flush_due(6_000));
+        e.drain();
+        assert!(e.flush_due_at().is_none(), "drain disarms");
+        assert!(!e.flush_due(10_000));
+        // Next first-enqueue re-arms relative to its own time.
+        e.enqueue("dev_kfree_skb_any", vec![3], 20_000);
+        assert_eq!(e.flush_due_at(), Some(25_000));
     }
 
     #[test]
