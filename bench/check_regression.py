@@ -2,8 +2,8 @@
 """Bench-regression gate for the sweep harnesses.
 
 Compares a freshly produced sweep JSON (BENCH_shard.json,
-BENCH_upcall.json, BENCH_itr.json) against its committed baseline and
-fails (exit 1)
+BENCH_upcall.json, BENCH_itr.json, BENCH_autotune.json) against its
+committed baseline and fails (exit 1)
 when any sweep point's amortized cycles/packet regresses by more than
 the tolerance (default 10%), or when a sweep point disappears. Sweep
 points present in the current run but absent from the baseline are
@@ -25,7 +25,9 @@ import json
 import sys
 
 # Fields that identify a sweep point; everything else is a measurement.
-ID_FIELDS = ("config", "nics", "burst", "upcalls", "itr", "mode")
+# "profile"/"phase" key the autotune sweep's shifting-load points (each
+# load-profile phase is its own gated point).
+ID_FIELDS = ("config", "profile", "phase", "nics", "burst", "upcalls", "itr", "mode")
 
 
 def key_of(entry):

@@ -1,0 +1,217 @@
+//! Autotune sweep: closed-loop per-device `ITR` tuning against the
+//! static moderation grid, under offered load that **shifts mid-run**.
+//!
+//! The moderation sweep showed the static trade-off: at the heavy paced
+//! load, wide `ITR` windows buy ~6× fewer interrupts/packet at ~1.9×
+//! p99, while at light load any window only adds latency. No single
+//! static setting is right on both sides — the pareto front moves with
+//! the load. The auto-tuner (`SystemOptions::itr_autotune`, modeled on
+//! Linux's `e1000_update_itr` state machine) retunes each device one
+//! ladder rung per interval window from its observed traffic, so it
+//! should land near the *per-phase* best static point on every phase of
+//! a step or ramp profile.
+//!
+//! Acceptance (burst 32, 4 NICs, both profiles): in every phase the
+//! auto-tuned system is within 15% of the per-phase best static `ITR`
+//! on **both** interrupts/packet and p99 arrival→delivery latency,
+//! where "best static" maximizes interrupt reduction subject to p99 ≤
+//! 2× the phase's unmoderated p99 (the PR 4 acceptance shape). The
+//! sweep also reports, per static setting, the phases where that
+//! setting misses the front — the pareto-tracking contrast.
+//!
+//! Pacing shares `TWIN_BENCH_GAP_CYCLES` with the moderation sweep (the
+//! heavy-phase gap; lighter phases derive from it — see
+//! `LoadProfile::gaps`). Besides the table, the sweep writes
+//! **`BENCH_autotune.json`** (workspace root) gated in CI against
+//! `bench/baseline_autotune.json` (identity fields:
+//! profile/phase/nics/burst/mode/itr).
+
+use twin_bench::{banner, gap_cycles, packets};
+use twindrivers::measure::{measure_rx_autotuned, AutotunedRx, LoadProfile};
+use twindrivers::nic::ITR_LADDER;
+use twindrivers::{Config, ShardPolicy, System, SystemOptions};
+
+/// The acceptance grid: the moderation sweep's headline row.
+const NICS: usize = 4;
+const BURST: usize = 32;
+
+/// Unmeasured frames at each phase start (the tuner's adaptation
+/// transient; identical for static runs, so drift accounting matches).
+const SETTLE_PACKETS: u64 = 256;
+
+/// Phases need enough rounds for steady state regardless of the CI
+/// smoke budget (matches the moderation sweep's floor).
+const MIN_PACKETS: u64 = 384;
+
+/// Best-static eligibility: p99 within this factor of the phase's
+/// unmoderated (ITR 0) p99 — the PR 4 acceptance shape.
+const P99_BUDGET: f64 = 2.0;
+
+/// Tracking tolerance vs the per-phase best static point, both metrics.
+const TRACK_TOLERANCE: f64 = 1.15;
+
+fn run(profile: LoadProfile, autotune: bool, itr: u32, pkts: u64, gap: u64) -> AutotunedRx {
+    let opts = SystemOptions {
+        num_nics: NICS,
+        shard: ShardPolicy::FlowHash,
+        itr,
+        itr_autotune: autotune,
+        ..SystemOptions::default()
+    };
+    let mut sys = System::build_with(Config::TwinDrivers, &opts).expect("build");
+    measure_rx_autotuned(&mut sys, BURST, profile, gap, SETTLE_PACKETS, pkts).expect("profile run")
+}
+
+/// Index of the phase's best static run: max interrupt reduction
+/// subject to the p99 budget against the unmoderated run (statics[0]
+/// must be ITR 0). Ties break toward lower p99, then lower ITR.
+fn best_static(statics: &[AutotunedRx], phase: usize) -> usize {
+    let base_p99 = statics[0].phases[phase].latency.p99.max(1) as f64;
+    let mut best = 0usize;
+    for (i, s) in statics.iter().enumerate() {
+        let p = &s.phases[phase];
+        if p.latency.p99 as f64 > P99_BUDGET * base_p99 {
+            continue;
+        }
+        let b = &statics[best].phases[phase];
+        let better = p.irqs_per_packet < b.irqs_per_packet - 1e-12
+            || (p.irqs_per_packet < b.irqs_per_packet + 1e-12 && p.latency.p99 < b.latency.p99);
+        if better {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Whether `run`'s phase point is within tolerance of `best`'s on both
+/// interrupts/packet and p99.
+fn tracks(run: &AutotunedRx, best: &AutotunedRx, phase: usize) -> bool {
+    let a = &run.phases[phase];
+    let b = &best.phases[phase];
+    a.irqs_per_packet <= TRACK_TOLERANCE * b.irqs_per_packet + 1e-12
+        && a.latency.p99 as f64 <= TRACK_TOLERANCE * b.latency.p99.max(1) as f64
+}
+
+fn json_entries(r: &AutotunedRx, out: &mut Vec<String>) {
+    for (i, p) in r.phases.iter().enumerate() {
+        let itr_field = if r.autotune {
+            String::new()
+        } else {
+            format!("\"itr\": {}, ", r.static_itr)
+        };
+        out.push(format!(
+            concat!(
+                "    {{\"config\": \"domU-twin\", \"profile\": \"{}\", \"phase\": {}, ",
+                "\"nics\": {}, \"burst\": {}, \"mode\": \"{}\", {}\"gap_cycles\": {}, ",
+                "\"rx_cycles_per_packet\": {:.1}, \"irqs_per_packet\": {:.4}, ",
+                "\"p50_cycles\": {}, \"p99_cycles\": {}, \"itr_end\": {}, \"retunes\": {}}}"
+            ),
+            r.profile,
+            i,
+            r.nics,
+            r.burst,
+            if r.autotune { "autotune" } else { "static" },
+            itr_field,
+            p.gap_cycles,
+            p.breakdown.total(),
+            p.irqs_per_packet,
+            p.latency.p50,
+            p.latency.p99,
+            p.itr_end,
+            p.retunes,
+        ));
+    }
+}
+
+fn main() {
+    banner(
+        "Autotune sweep — closed-loop ITR vs the static grid under shifting load",
+        "repo extension (e1000_update_itr); acceptance: within 15% of per-phase best static on irqs/pkt AND p99",
+    );
+    let pkts = packets().max(MIN_PACKETS);
+    let gap = gap_cycles();
+    let mut entries: Vec<String> = Vec::new();
+    let mut all_phases_tracked = true;
+    for profile in [LoadProfile::Step, LoadProfile::Ramp] {
+        println!("  domU-twin, {NICS} NICs, burst {BURST}, profile {profile} (heavy gap {gap}):");
+        // The static grid IS the tuner's ladder: "tracking the pareto
+        // front" is evaluated against the exact rungs the tuner can
+        // land on.
+        let statics: Vec<AutotunedRx> = ITR_LADDER
+            .iter()
+            .map(|&itr| run(profile, false, itr, pkts, gap))
+            .collect();
+        let auto = run(profile, true, 0, pkts, gap);
+        for s in &statics {
+            for p in &s.phases {
+                println!("    static itr {:>5}   {}", s.static_itr, p.row());
+            }
+        }
+        for p in &auto.phases {
+            println!("    autotune          {}", p.row());
+        }
+
+        // Per-phase pareto check.
+        for phase in 0..auto.phases.len() {
+            let b = best_static(&statics, phase);
+            let ok = tracks(&auto, &statics[b], phase);
+            all_phases_tracked &= ok;
+            println!(
+                "    phase {phase} (gap {:>7}): best static itr {:>4} ({:.4} irqs/pkt, p99 {}) — autotune {}",
+                auto.phases[phase].gap_cycles,
+                statics[b].static_itr,
+                statics[b].phases[phase].irqs_per_packet,
+                statics[b].phases[phase].latency.p99,
+                if ok { "tracks (within 15%)" } else { "MISSES" },
+            );
+        }
+        // The contrast: which static settings track every phase? A
+        // profile that genuinely crosses regimes leaves this list empty.
+        let chasers: Vec<u32> = statics
+            .iter()
+            .filter(|s| {
+                (0..s.phases.len()).all(|ph| tracks(s, &statics[best_static(&statics, ph)], ph))
+            })
+            .map(|s| s.static_itr)
+            .collect();
+        println!(
+            "    static settings tracking every phase: {}",
+            if chasers.is_empty() {
+                "none — only the auto-tuner follows the front".to_string()
+            } else {
+                format!("{chasers:?}")
+            }
+        );
+        println!();
+        for s in &statics {
+            json_entries(s, &mut entries);
+        }
+        json_entries(&auto, &mut entries);
+    }
+    println!(
+        "  acceptance: auto-tuner within 15% of per-phase best static everywhere: {}",
+        if all_phases_tracked { "yes" } else { "NO" }
+    );
+
+    let json = format!(
+        "{{\n  \"packets\": {},\n  \"gap_cycles\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        pkts,
+        gap,
+        entries.join(",\n"),
+    );
+    // Anchor at the workspace root regardless of cargo's bench cwd.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_autotune.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!(
+            "  wrote BENCH_autotune.json ({} sweep points)",
+            entries.len()
+        ),
+        Err(e) => eprintln!("  could not write {out}: {e}"),
+    }
+    // Unlike the descriptive sweeps, the pareto-tracking claim is this
+    // harness's acceptance criterion: failing it fails the CI step
+    // (the regression gate only covers cycles/packet drift).
+    if !all_phases_tracked {
+        std::process::exit(1);
+    }
+}

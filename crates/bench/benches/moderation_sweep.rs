@@ -7,9 +7,11 @@
 //! e1000's interrupt-throttling register: each device suppresses IRQ
 //! delivery until `ITR × 768` cycles have elapsed since its last
 //! delivered interrupt, latching the cause meanwhile (no delivery is
-//! ever lost). The arrival process offers bursts every `GAP_CYCLES` of
-//! virtual time — slightly above the unmoderated path's per-interrupt
-//! service capacity at burst 32 on 4 NICs, the receive-livelock regime
+//! ever lost). The arrival process offers bursts every
+//! [`twin_bench::gap_cycles`] of virtual time (`TWIN_BENCH_GAP_CYCLES`,
+//! shared with the autotune sweep) — by default slightly above the
+//! unmoderated path's per-interrupt service capacity at burst 32 on 4
+//! NICs, the receive-livelock regime
 //! interrupt moderation exists for: without moderation the backlog shows
 //! up as completion latency *and* maximal interrupt rate; with it, one
 //! interrupt reaps several bursts.
@@ -24,7 +26,7 @@
 //! can track the moderated receive path against
 //! `bench/baseline_itr.json` (identity fields: nics/burst/itr/mode).
 
-use twin_bench::{banner, packets};
+use twin_bench::{banner, gap_cycles, packets};
 use twindrivers::measure::ModeratedRx;
 use twindrivers::{Config, ShardPolicy, System, SystemOptions};
 
@@ -37,14 +39,11 @@ const GRID: [(usize, usize); 3] = [(1, 32), (4, 8), (4, 32)];
 /// takes over, so wider windows buy no further interrupt reduction.
 const ITR_VALUES: [u32; 4] = [0, 500, 1000, 2000];
 
-/// Scheduled inter-burst gap in virtual cycles (the offered load).
-const GAP_CYCLES: u64 = 150_000;
-
 /// Moderation windows span several bursts, so the sweep needs enough
 /// rounds for steady state regardless of the CI smoke budget.
 const MIN_PACKETS: u64 = 384;
 
-fn measure(nics: usize, burst: usize, itr: u32, pkts: u64) -> ModeratedRx {
+fn measure(nics: usize, burst: usize, itr: u32, pkts: u64, gap: u64) -> ModeratedRx {
     let opts = SystemOptions {
         num_nics: nics,
         shard: ShardPolicy::FlowHash,
@@ -52,7 +51,7 @@ fn measure(nics: usize, burst: usize, itr: u32, pkts: u64) -> ModeratedRx {
         ..SystemOptions::default()
     };
     let mut sys = System::build_with(Config::TwinDrivers, &opts).expect("build");
-    sys.measure_rx_moderated(burst, pkts, GAP_CYCLES)
+    sys.measure_rx_moderated(burst, pkts, gap)
         .expect("sweep point")
 }
 
@@ -80,15 +79,18 @@ fn main() {
         "repo extension (virtual-time engine); acceptance: >= 4x fewer irqs/pkt at <= 2x p99, burst 32 / 4 NICs",
     );
     let pkts = packets().max(MIN_PACKETS);
+    // Shared pacing knob (TWIN_BENCH_GAP_CYCLES) with the autotune
+    // sweep; the default reproduces bench/baseline_itr.json bit-exactly.
+    let gap = gap_cycles();
     let mut entries: Vec<String> = Vec::new();
     let mut accept: Option<(u32, f64, f64)> = None;
     let mut monotone = true;
     for (nics, burst) in GRID {
-        println!("  domU-twin, {nics} NIC(s), burst {burst}, gap {GAP_CYCLES} cycles:");
+        println!("  domU-twin, {nics} NIC(s), burst {burst}, gap {gap} cycles:");
         let mut base: Option<ModeratedRx> = None;
         let mut prev_irqs = f64::INFINITY;
         for itr in ITR_VALUES {
-            let m = measure(nics, burst, itr, pkts);
+            let m = measure(nics, burst, itr, pkts, gap);
             println!("    {}", m.row());
             if (nics, burst) == (4, 32) {
                 if itr == 0 {
@@ -131,7 +133,7 @@ fn main() {
     let json = format!(
         "{{\n  \"packets\": {},\n  \"gap_cycles\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
         pkts,
-        GAP_CYCLES,
+        gap,
         entries.join(",\n"),
     );
     // Anchor at the workspace root regardless of cargo's bench cwd.

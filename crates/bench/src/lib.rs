@@ -91,6 +91,24 @@ pub fn packets() -> u64 {
         .unwrap_or(300)
 }
 
+/// Default scheduled inter-burst arrival gap for the paced receive
+/// harnesses, in virtual cycles — slightly above the unmoderated
+/// per-interrupt service capacity at burst 32 on 4 NICs (the
+/// receive-livelock regime interrupt moderation exists for).
+pub const DEFAULT_GAP_CYCLES: u64 = 150_000;
+
+/// The paced harnesses' shared pacing knob: `TWIN_BENCH_GAP_CYCLES`
+/// overrides the heavy-phase inter-burst gap for both the moderation
+/// and the autotune sweeps, so one variable retargets the offered load
+/// everywhere. The default reproduces the committed baselines
+/// bit-exactly.
+pub fn gap_cycles() -> u64 {
+    std::env::var("TWIN_BENCH_GAP_CYCLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_GAP_CYCLES)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

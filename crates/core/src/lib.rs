@@ -142,8 +142,9 @@ pub mod system;
 
 pub use iommu::Iommu;
 pub use measure::{
-    measure_aggregate_throughput, percentile, throughput, upcall_latency, AggregateThroughput,
-    Breakdown, BurstMeasurement, LatencyStats, ModeratedRx, Throughput, CPU_HZ, TESTBED_NICS,
+    measure_aggregate_throughput, measure_rx_autotuned, percentile, throughput, upcall_latency,
+    AggregateThroughput, AutotunedRx, Breakdown, BurstMeasurement, LatencyStats, LoadProfile,
+    ModeratedRx, RxPhase, SampleReservoir, Throughput, CPU_HZ, TESTBED_NICS,
 };
 pub use system::{
     peer_mac, Config, ShardPolicy, System, SystemError, SystemOptions, UpcallMode, World, MAX_BURST,

@@ -132,6 +132,88 @@ impl LatencyStats {
     }
 }
 
+/// Capacity of the receive-latency reservoir held by a `System`: far
+/// above any single measurement window's sample count (the sweeps
+/// measure hundreds of frames per point), so the committed sweeps and
+/// tests see exact percentiles, while an arbitrarily long paced run
+/// stays at a fixed memory footprint.
+pub const RX_LATENCY_RESERVOIR: usize = 65_536;
+
+/// A bounded uniform sample reservoir (Vitter's Algorithm R) with a
+/// deterministic in-struct LCG, so long runs keep O(capacity) memory and
+/// identical inputs always produce identical contents. Below capacity
+/// every pushed value is retained, making percentiles exact — the regime
+/// every committed sweep and test operates in.
+#[derive(Clone, Debug)]
+pub struct SampleReservoir {
+    cap: usize,
+    seen: u64,
+    rng: u64,
+    samples: Vec<u64>,
+}
+
+impl SampleReservoir {
+    /// Creates an empty reservoir holding at most `cap` samples.
+    pub fn new(cap: usize) -> SampleReservoir {
+        SampleReservoir {
+            cap: cap.max(1),
+            seen: 0,
+            rng: 0x5DEE_CE66_D569_3A53,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offers one sample; below capacity it is always kept, beyond it
+    /// replaces a uniformly chosen held sample with probability
+    /// `cap / seen` (Algorithm R).
+    pub fn push(&mut self, v: u64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            if self.samples.is_empty() {
+                self.samples.reserve_exact(self.cap);
+            }
+            self.samples.push(v);
+            return;
+        }
+        self.rng = self
+            .rng
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let j = (self.rng >> 16) % self.seen;
+        if (j as usize) < self.cap {
+            self.samples[j as usize] = v;
+        }
+    }
+
+    /// The held samples (unordered).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Total samples offered since the last clear.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Held sample count.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Drops every sample and restarts the window (the RNG state is
+    /// deliberately kept: clearing is a measurement boundary, not a
+    /// replay point).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.seen = 0;
+    }
+}
+
 /// Nearest-rank percentile of an ascending-sorted slice (`p` in 0..=100).
 pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -274,6 +356,159 @@ impl ModeratedRx {
     }
 }
 
+/// A multi-phase offered-load profile for the auto-tune harness: each
+/// phase paces arrival bursts at a different inter-burst gap, so the
+/// run crosses the latency/bulk regimes mid-measurement and a
+/// closed-loop tuner has something to track that no static `ITR`
+/// setting can follow.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LoadProfile {
+    /// Two phases: light (latency regime), then heavy (the
+    /// receive-livelock regime the moderation sweep paces).
+    Step,
+    /// Three phases stepping light → medium → heavy.
+    Ramp,
+}
+
+impl LoadProfile {
+    /// The JSON/label name.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadProfile::Step => "step",
+            LoadProfile::Ramp => "ramp",
+        }
+    }
+
+    /// Per-phase inter-burst gaps, derived from the heavy (final) gap so
+    /// the moderation and autotune benches share one pacing knob: the
+    /// light phase offers 6× sparser arrivals (underloaded — windows
+    /// mostly idle), the ramp's middle phase 3× (busy but unsaturated).
+    pub fn gaps(self, heavy_gap_cycles: u64) -> Vec<u64> {
+        match self {
+            LoadProfile::Step => vec![heavy_gap_cycles * 6, heavy_gap_cycles],
+            LoadProfile::Ramp => vec![heavy_gap_cycles * 6, heavy_gap_cycles * 3, heavy_gap_cycles],
+        }
+    }
+}
+
+impl std::fmt::Display for LoadProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One measured phase of a multi-phase paced receive run: steady-state
+/// cost, interrupt rate and arrival-to-delivery latency at that phase's
+/// offered load (each phase leads with an unmeasured settle span so a
+/// retuning system is compared in steady state, like every other
+/// harness's warm-up).
+#[derive(Clone, Debug)]
+pub struct RxPhase {
+    /// Scheduled inter-burst gap during this phase.
+    pub gap_cycles: u64,
+    /// Frames measured (after the settle span).
+    pub packets: u64,
+    /// Per-packet cycle breakdown over the measured span.
+    pub breakdown: Breakdown,
+    /// Hardware interrupts dispatched per measured packet.
+    pub irqs_per_packet: f64,
+    /// Arrival-to-delivery latency percentiles over the measured span.
+    pub latency: LatencyStats,
+    /// `ITR` retunes the auto-tuner performed in the measured span
+    /// (0 for static runs).
+    pub retunes: u64,
+    /// Widest per-device `ITR` at phase end — where the tuner (or the
+    /// static setting) sits when the phase closes.
+    pub itr_end: u32,
+}
+
+impl RxPhase {
+    /// One phase-table row.
+    pub fn row(&self) -> String {
+        format!(
+            "gap {:>8}  cyc/pkt {:>7.0}  irqs/pkt {:>6.4}  p50 {:>9}  p99 {:>9}  itr@end {:>5}  retunes {:>3}",
+            self.gap_cycles,
+            self.breakdown.total(),
+            self.irqs_per_packet,
+            self.latency.p50,
+            self.latency.p99,
+            self.itr_end,
+            self.retunes,
+        )
+    }
+}
+
+/// Result of running one system through a shifting-load profile: the
+/// per-phase points the autotune sweep compares against the per-phase
+/// best static `ITR`.
+#[derive(Clone, Debug)]
+pub struct AutotunedRx {
+    /// NICs driven concurrently.
+    pub nics: u32,
+    /// Frames per scheduled arrival burst.
+    pub burst: usize,
+    /// The load profile run.
+    pub profile: LoadProfile,
+    /// Whether the closed-loop tuner was active.
+    pub autotune: bool,
+    /// The fixed `ITR` programmed at build time (static runs; the
+    /// tuner's starting point otherwise).
+    pub static_itr: u32,
+    /// One entry per profile phase, in offered order.
+    pub phases: Vec<RxPhase>,
+}
+
+/// Runs `sys` through `profile` — paced arrival bursts whose gap shifts
+/// at each phase boundary — and reports per-phase steady-state points
+/// (see [`RxPhase`]). Works identically for a static-`ITR` system and
+/// an auto-tuning one ([`crate::SystemOptions::itr_autotune`]), which is
+/// what makes the sweep's comparison apples-to-apples: same warm-up,
+/// same pacing, same settle spans, same drift accounting.
+///
+/// `heavy_gap_cycles` is the final (heaviest) phase's gap — the same
+/// knob the moderation sweep paces with; earlier phases derive from it
+/// (see [`LoadProfile::gaps`]). Each phase injects `settle_packets`
+/// unmeasured frames at the new load first (the tuner's adaptation
+/// transient), then measures `packets_per_phase` frames.
+///
+/// # Errors
+///
+/// Propagates per-burst errors.
+pub fn measure_rx_autotuned(
+    sys: &mut System,
+    burst: usize,
+    profile: LoadProfile,
+    heavy_gap_cycles: u64,
+    settle_packets: u64,
+    packets_per_phase: u64,
+) -> Result<AutotunedRx, SystemError> {
+    let static_itr = sys
+        .world
+        .nics
+        .iter()
+        .map(twin_nic::Nic::itr)
+        .max()
+        .unwrap_or(0);
+    // Per-NIC steady state needs a full ring cycle of buffer swaps —
+    // the same warm-up as the moderated harness.
+    for _ in 0..160 * sys.nic_count() {
+        sys.receive_one()?;
+    }
+    sys.drain_moderated()?;
+    let mut phases = Vec::new();
+    for gap in profile.gaps(heavy_gap_cycles) {
+        phases.push(sys.paced_rx_phase(burst, settle_packets, packets_per_phase, gap)?);
+    }
+    Ok(AutotunedRx {
+        nics: sys.nic_count() as u32,
+        burst,
+        profile,
+        autotune: sys.itr_autotune(),
+        static_itr,
+        phases,
+    })
+}
+
 /// Measures aggregate RX+TX throughput of a (possibly multi-NIC) system
 /// at a fixed burst size: `packets` packets move in each direction in
 /// bursts of `burst`, sharded across the NICs by the system's policy;
@@ -387,6 +622,70 @@ mod tests {
         let row = s.row();
         assert!(row.contains("p50"));
         assert!(row.contains("p99"));
+    }
+
+    #[test]
+    fn reservoir_exact_below_capacity_bounded_above() {
+        let mut r = SampleReservoir::new(8);
+        for v in 0..8u64 {
+            r.push(v);
+        }
+        // Below capacity: every sample retained in order — percentiles
+        // are exact.
+        assert_eq!(r.samples(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(r.seen(), 8);
+        for v in 8..10_000u64 {
+            r.push(v);
+        }
+        // Above: bounded at capacity, still a subset of what was pushed.
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.seen(), 10_000);
+        assert!(r.samples().iter().all(|&v| v < 10_000));
+        // Determinism: an identical run holds identical samples.
+        let mut r2 = SampleReservoir::new(8);
+        for v in 0..10_000u64 {
+            r2.push(v);
+        }
+        assert_eq!(r.samples(), r2.samples());
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.seen(), 0);
+    }
+
+    #[test]
+    fn reservoir_spreads_over_the_whole_stream() {
+        // A uniform reservoir over a long stream must keep samples from
+        // early, middle and late thirds — a head-only or tail-only cap
+        // would skew the percentiles a long paced run reports.
+        let n = 300_000u64;
+        let mut r = SampleReservoir::new(1024);
+        for v in 0..n {
+            r.push(v);
+        }
+        let third = |lo: u64, hi: u64| r.samples().iter().filter(|&&v| v >= lo && v < hi).count();
+        let (a, b, c) = (
+            third(0, n / 3),
+            third(n / 3, 2 * n / 3),
+            third(2 * n / 3, n),
+        );
+        assert_eq!(a + b + c, 1024);
+        for (name, k) in [("early", a), ("middle", b), ("late", c)] {
+            assert!(
+                (170..=512).contains(&k),
+                "{name} third holds {k} of 1024 samples"
+            );
+        }
+    }
+
+    #[test]
+    fn load_profile_gaps_share_the_heavy_knob() {
+        assert_eq!(LoadProfile::Step.gaps(150_000), vec![900_000, 150_000]);
+        assert_eq!(
+            LoadProfile::Ramp.gaps(150_000),
+            vec![900_000, 450_000, 150_000]
+        );
+        assert_eq!(LoadProfile::Step.label(), "step");
+        assert_eq!(LoadProfile::Ramp.to_string(), "ramp");
     }
 
     #[test]

@@ -27,7 +27,7 @@ use twin_kernel::{
 };
 use twin_machine::{CostDomain, Cpu, Env, ExecMode, Fault, Machine, PageEntry, SpaceId, PAGE_SIZE};
 use twin_net::{EtherType, Frame, MacAddr, MTU};
-use twin_nic::{Nic, MMIO_WINDOW};
+use twin_nic::{ItrTuner, Nic, AUTOTUNE_WINDOW_CYCLES, MMIO_WINDOW};
 use twin_rewriter::{rewrite, RewriteOptions, RewriteStats};
 use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
 use twin_xen::{
@@ -186,6 +186,16 @@ pub struct SystemOptions {
     /// (the default) disables the timer and is cycle-exact with the
     /// PR 3 path.
     pub upcall_flush_deadline_cycles: Option<u64>,
+    /// Closed-loop per-device `ITR` auto-tuning
+    /// ([`twin_nic::ItrTuner`], modeled on Linux's `e1000_update_itr`
+    /// state machine): every [`twin_nic::AUTOTUNE_WINDOW_CYCLES`] of
+    /// virtual time each device's receive counters are classified into
+    /// a latency regime and the `ITR` register is stepped one
+    /// [`twin_nic::ITR_LADDER`] rung toward that regime's target,
+    /// through the same MMIO path [`System::set_itr`] uses. `false`
+    /// (the default) leaves whatever [`SystemOptions::itr`] programmed
+    /// untouched and is cycle-exact with the static path.
+    pub itr_autotune: bool,
 }
 
 impl Default for SystemOptions {
@@ -204,6 +214,7 @@ impl Default for SystemOptions {
             upcall_queue_capacity: 128,
             itr: 0,
             upcall_flush_deadline_cycles: None,
+            itr_autotune: false,
         }
     }
 }
@@ -375,13 +386,28 @@ pub struct System {
     /// the window opens (no delivery is ever lost — the `ICR` cause
     /// stays latched in hardware meanwhile).
     moderated_pending: Vec<u32>,
+    /// Per-device closed-loop `ITR` tuners, one per NIC in device order
+    /// when [`SystemOptions::itr_autotune`] is set; empty otherwise (the
+    /// static-knob path, untouched).
+    itr_tuners: Vec<ItrTuner>,
+    /// Per-device gated-wait anchor `(rx_packets, cycles)` captured when
+    /// a device's latched cause starts waiting on its moderation
+    /// window. Resolved when the wait ends: a wait whose arrival rate
+    /// stayed below the busy floor is reported to the tuner as idle
+    /// time (the wait of a *quiet* gated device is load-idleness; the
+    /// wait of a backlogged one is not). Parallel to `itr_tuners`
+    /// (empty when auto-tuning is off) — pure bookkeeping, no cycles.
+    gate_anchors: Vec<Option<(u64, u64)>>,
     /// Arrival stamp (virtual cycles) per in-flight received frame,
     /// keyed by `(flow, seq)`; matched off by
     /// [`System::sample_rx_completions`].
     rx_inflight: BTreeMap<(u32, u64), u64>,
     /// Cycles-to-delivery samples for frames completed in the current
-    /// measurement window (the latency side of the moderation sweep).
-    rx_latency: Vec<u64>,
+    /// measurement window (the latency side of the moderation sweep) —
+    /// a bounded reservoir, so arbitrarily long paced runs keep a fixed
+    /// footprint while every committed sweep stays exact (it holds far
+    /// fewer samples than [`crate::measure::RX_LATENCY_RESERVOIR`]).
+    rx_latency: crate::measure::SampleReservoir,
     /// Per-endpoint cursors into the delivered-frame logs (`u32::MAX`
     /// keys the dom0 stack, domain ids key the guests).
     rx_sample_cursors: BTreeMap<u32, usize>,
@@ -582,8 +608,10 @@ impl System {
             rr_next: 0,
             rx_flush_quantum: opts.rx_flush_quantum,
             moderated_pending: Vec::new(),
+            itr_tuners: Vec::new(),
+            gate_anchors: Vec::new(),
             rx_inflight: BTreeMap::new(),
-            rx_latency: Vec::new(),
+            rx_latency: crate::measure::SampleReservoir::new(crate::measure::RX_LATENCY_RESERVOIR),
             rx_sample_cursors: BTreeMap::new(),
             dom0,
             dom0_stack_top,
@@ -621,6 +649,20 @@ impl System {
             for dev in 0..num_nics as u32 {
                 sys.set_itr(dev, opts.itr)?;
             }
+        }
+        // Closed-loop ITR auto-tuning: one tuner per device, anchored at
+        // the current virtual time with the device's current counters.
+        // The Vec stays empty when the knob is off, so the static path
+        // is untouched.
+        if opts.itr_autotune {
+            let now = sys.machine.meter.now();
+            sys.itr_tuners = sys
+                .world
+                .nics
+                .iter()
+                .map(|n| ItrTuner::new(now, AUTOTUNE_WINDOW_CYCLES, n))
+                .collect();
+            sys.gate_anchors = vec![None; num_nics];
         }
 
         // Guest domain for the guest configurations.
@@ -800,6 +842,76 @@ impl System {
         self.machine.meter.now()
     }
 
+    /// Whether closed-loop `ITR` auto-tuning is active.
+    pub fn itr_autotune(&self) -> bool {
+        !self.itr_tuners.is_empty()
+    }
+
+    /// A device's auto-tuner (`None` when auto-tuning is off) —
+    /// observability for tests and sweeps.
+    pub fn itr_tuner(&self, dev: u32) -> Option<&ItrTuner> {
+        self.itr_tuners.get(dev as usize)
+    }
+
+    /// Services every device's auto-tuner: at each elapsed interval
+    /// window the tuner classifies the window's receive counters and
+    /// proposes a one-rung `ITR` step; the system charges the retune
+    /// cost to the driver (the state machine runs in the driver's
+    /// interrupt context, like Linux's `e1000_set_itr`) and writes the
+    /// register through the normal MMIO path. A no-op costing zero
+    /// cycles when auto-tuning is off or no window has closed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MMIO faults from the register write.
+    /// Ends a device's gated wait at virtual time `now` (the moment its
+    /// latched cause delivers, or is otherwise consumed): a wait whose
+    /// arrival rate stayed below the busy floor (fewer than
+    /// [`twin_nic::BUSY_WINDOW_PACKETS`] packets per tuner window) was
+    /// load-idleness — the device was gated *and quiet* — and is
+    /// reported to the tuner as idle; a backlogged wait (arrivals at or
+    /// above the floor) is not. This lets the tuner distinguish
+    /// moderated bursty traffic from moderated overload, where the live
+    /// idle feed is masked by the latched cause either way. Must run at
+    /// the delivery instant — the reap pass that follows is work, not
+    /// waiting, and would inflate the wait.
+    fn end_gated_wait(&mut self, dev: u32, now: u64) {
+        let Some(anchor) = self.gate_anchors.get_mut(dev as usize) else {
+            return;
+        };
+        if let Some((p0, t0)) = anchor.take() {
+            let arrivals = self.world.nics[dev as usize].stats().rx_packets - p0;
+            let wait = now.saturating_sub(t0);
+            if arrivals * AUTOTUNE_WINDOW_CYCLES < twin_nic::BUSY_WINDOW_PACKETS * wait {
+                self.itr_tuners[dev as usize].note_idle(wait);
+            }
+        }
+    }
+
+    fn service_itr_tuners(&mut self) -> Result<(), SystemError> {
+        if self.itr_tuners.is_empty() {
+            return Ok(());
+        }
+        let now = self.machine.meter.now();
+        // Fallback resolution for waits that ended without a delivery
+        // (a polled reap consumed the cause): the wait ends here.
+        for dev in 0..self.itr_tuners.len() {
+            if self.gate_anchors[dev].is_some() && !self.moderated_pending.contains(&(dev as u32)) {
+                self.end_gated_wait(dev as u32, now);
+            }
+        }
+        for dev in 0..self.itr_tuners.len() {
+            let retuned = self.itr_tuners[dev].service(now, &self.world.nics[dev]);
+            if let Some(itr) = retuned {
+                let m = &mut self.machine;
+                m.meter.charge_to(CostDomain::Driver, m.cost.itr_retune);
+                m.meter.count_event("itr_retune");
+                self.set_itr(dev as u32, itr)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Services every virtual timer that is due *now*, in
     /// flush-before-IRQ order: (1) the deadline-driven upcall flush, so
     /// queued frees/unmaps reach dom0 before interrupt work piles more
@@ -842,12 +954,16 @@ impl System {
                 self.moderated_pending.retain(|d| !ready.contains(d));
                 for &dev in &ready {
                     self.world.nics[dev as usize].note_irq_delivered(now);
+                    self.end_gated_wait(dev, now);
                 }
                 self.rx_pass(&ready)?;
                 self.flush_deferred_upcalls()?;
                 self.sample_rx_completions();
             }
         }
+        // After moderated deliveries, so an interrupt delivered at this
+        // service point counts into the window that just closed.
+        self.service_itr_tuners()?;
         if fire_kernel_timers {
             let now = self.machine.meter.now();
             let due = self.world.kernel.take_due_timers(now);
@@ -881,6 +997,12 @@ impl System {
                 candidates.push(t);
             }
         }
+        // Auto-tune interval windows are virtual timers too: idle
+        // stepping wakes at each boundary so the knob decays toward
+        // latency mode on schedule.
+        for t in &self.itr_tuners {
+            candidates.push(t.next_window_at());
+        }
         candidates.into_iter().min()
     }
 
@@ -908,6 +1030,20 @@ impl System {
                 _ => end - now,
             };
             self.machine.meter.advance_idle(step);
+            // The tuners' load signal: true idleness. A device whose
+            // latched cause is waiting out its own moderation window is
+            // backlogged, not idle — its wait is not reported (at
+            // sustained load the schedule runs ahead between cheap
+            // latching injections, and counting those waits would
+            // demote a converged bulk setting mid-overload). The
+            // idleness of a *lightly* loaded gated device still shows:
+            // its cause clears at each window-open delivery and the
+            // remaining inter-burst gap is reported.
+            for (dev, t) in self.itr_tuners.iter_mut().enumerate() {
+                if !self.world.nics[dev].irq_asserted() {
+                    t.note_idle(step);
+                }
+            }
         }
         self.service_virtual_timers(true)
     }
@@ -936,11 +1072,6 @@ impl System {
     fn sample_rx_completions(&mut self) {
         if self.rx_inflight.is_empty() {
             return; // nothing tracked: skip the delivery-log scans
-        }
-        // Bound the sample window for long-lived moderated systems that
-        // never reset a measurement: keep the freshest half.
-        if self.rx_latency.len() > (1 << 20) {
-            self.rx_latency.drain(..(1 << 19));
         }
         let now = self.machine.meter.now();
         match self.config {
@@ -986,9 +1117,10 @@ impl System {
     }
 
     /// Cycles-from-arrival-to-delivery samples for frames completed in
-    /// the current measurement window.
+    /// the current measurement window (a bounded uniform reservoir; see
+    /// [`crate::measure::SampleReservoir`]).
     pub fn rx_latency_samples(&self) -> &[u64] {
-        &self.rx_latency
+        self.rx_latency.samples()
     }
 
     /// Cycles-to-completion samples for every upcall since the last
@@ -1035,6 +1167,15 @@ impl System {
         self.seq += 1;
         f
     }
+
+    /// First of the eight flow ids the autotune phase harness paces
+    /// with: chosen so [`ShardPolicy::FlowHash`] maps exactly two flows
+    /// to each of four NICs, giving every per-device tuner the same
+    /// offered load. (The classic generator's flows 101–108 split
+    /// 2/2/1/3 — a device with a single thin flow sees a genuinely
+    /// lighter regime than its siblings, which is a property of the
+    /// traffic, not of the tuner under test.)
+    pub const BALANCED_FLOW_BASE: u32 = 203;
 
     fn next_rx_frame(&mut self) -> Frame {
         let dst = match self.config {
@@ -1557,6 +1698,7 @@ impl System {
         // or an armed time knob. The default path allocates nothing.
         let track = arrival.is_some()
             || self.world.nics.iter().any(|n| n.itr() != 0)
+            || !self.itr_tuners.is_empty()
             || self
                 .world
                 .hyper
@@ -1597,6 +1739,15 @@ impl System {
                         if !self.moderated_pending.contains(dev) {
                             self.moderated_pending.push(*dev);
                         }
+                        // Anchor the gated wait (auto-tune only): the
+                        // just-latched batch is excluded, so the anchor
+                        // measures what arrives *while* waiting.
+                        if let Some(slot @ None) = self.gate_anchors.get_mut(*dev as usize) {
+                            *slot = Some((
+                                self.world.nics[*dev as usize].stats().rx_packets,
+                                self.machine.meter.now(),
+                            ));
+                        }
                         self.machine.meter.count_event("irq_moderated");
                     }
                 } else if self.moderated_pending.contains(dev)
@@ -1631,12 +1782,16 @@ impl System {
             let now = self.machine.meter.now();
             for &dev in &pass_devs {
                 self.world.nics[dev as usize].note_irq_delivered(now);
+                self.end_gated_wait(dev, now);
             }
             self.rx_pass(&pass_devs)?;
             // End of one receive pass: drain any deferred upcalls the
             // reap queued (unmaps, frees).
             self.flush_deferred_upcalls()?;
             self.sample_rx_completions();
+            // Heavy passes outrun the tuner's interval window; retune
+            // between passes so sustained load escalates promptly.
+            self.service_itr_tuners()?;
             if groups.iter().all(|(_, pending)| pending.is_empty()) {
                 break;
             }
@@ -2137,6 +2292,32 @@ impl System {
         Ok(())
     }
 
+    /// Event-driven moderated drain: idles exactly to each gated
+    /// device's window-open instant until nothing is latched, with no
+    /// trailing idle once the last cause delivers. Deliveries happen at
+    /// the same virtual instants [`System::drain_moderated`] would
+    /// produce; only the artificial idle *after* the tail differs —
+    /// which is what keeps a closed-loop tuner's idle signal honest
+    /// across the autotune harness's phase boundaries.
+    fn drain_moderated_tight(&mut self) -> Result<(), SystemError> {
+        let mut rounds = 0;
+        while !self.moderated_pending.is_empty() && rounds < 64 {
+            let now = self.machine.meter.now();
+            let due = self
+                .moderated_pending
+                .iter()
+                .filter_map(|&d| self.world.nics[d as usize].irq_ready_at())
+                .min();
+            let step = match due {
+                Some(t) if t > now => t - now,
+                _ => 1,
+            };
+            self.run_idle(step)?;
+            rounds += 1;
+        }
+        Ok(())
+    }
+
     /// Measures the receive path under interrupt moderation with a
     /// paced arrival process: bursts of `burst` frames are scheduled
     /// `gap_cycles` of virtual time apart (wire pacing), frames are
@@ -2167,25 +2348,7 @@ impl System {
         }
         self.drain_moderated()?;
         self.reset_measurement();
-        let t0 = self.machine.meter.now();
-        let mut injected = 0u64;
-        let mut round = 0u64;
-        while injected < packets {
-            let n = burst.min((packets - injected) as usize);
-            let target = t0 + round * gap_cycles;
-            let now = self.machine.meter.now();
-            if now < target {
-                // Ahead of the wire: idle until the next burst arrives
-                // (moderation windows open and deliver along the way).
-                self.run_idle(target - now)?;
-            }
-            injected += {
-                let frames: Vec<Frame> = (0..n).map(|_| self.next_rx_frame()).collect();
-                self.receive_burst_arriving(&frames, Some(target))? as u64
-            };
-            round += 1;
-        }
-        self.drain_moderated()?;
+        let injected = self.paced_rx_run(burst, packets, gap_cycles)?;
         let meter = &self.machine.meter;
         Ok(crate::measure::ModeratedRx {
             nics: self.world.nics.len() as u32,
@@ -2205,7 +2368,114 @@ impl System {
             breakdown: Breakdown::from_meter(meter, injected),
             irqs_per_packet: meter.event("irq") as f64 / injected.max(1) as f64,
             moderated_irqs: meter.event("irq_moderated"),
-            latency: crate::measure::LatencyStats::from_samples(&self.rx_latency),
+            latency: crate::measure::LatencyStats::from_samples(self.rx_latency.samples()),
+        })
+    }
+
+    /// Paced injection of `packets` frames in bursts of `burst`,
+    /// scheduled `gap_cycles` apart starting now, each stamped with its
+    /// scheduled wire-arrival time; ends by draining every moderated
+    /// window so all injected frames complete. The inner loop of
+    /// [`System::measure_rx_moderated`] and of each autotune-harness
+    /// phase.
+    fn paced_rx_run(
+        &mut self,
+        burst: usize,
+        packets: u64,
+        gap_cycles: u64,
+    ) -> Result<u64, SystemError> {
+        let injected = self.paced_rx_inject(burst, packets, gap_cycles, false)?;
+        self.drain_moderated()?;
+        Ok(injected)
+    }
+
+    /// The bare paced-injection loop of [`System::paced_rx_run`], with
+    /// no closing drain — the phase harness separates injection from
+    /// draining so a phase's settle span flows straight into its
+    /// measured span. `balanced_flows` swaps the classic generator's
+    /// flow ids for the device-balanced set
+    /// ([`System::BALANCED_FLOW_BASE`]); sequence numbers still come
+    /// from the shared counter, so `(flow, seq)` keys stay unique.
+    fn paced_rx_inject(
+        &mut self,
+        burst: usize,
+        packets: u64,
+        gap_cycles: u64,
+        balanced_flows: bool,
+    ) -> Result<u64, SystemError> {
+        let t0 = self.machine.meter.now();
+        let mut injected = 0u64;
+        let mut round = 0u64;
+        while injected < packets {
+            let n = burst.min((packets - injected) as usize);
+            let target = t0 + round * gap_cycles;
+            let now = self.machine.meter.now();
+            if now < target {
+                self.run_idle(target - now)?;
+            }
+            let frames: Vec<Frame> = (0..n)
+                .map(|_| {
+                    let mut f = self.next_rx_frame();
+                    if balanced_flows {
+                        f.flow = Self::BALANCED_FLOW_BASE + (f.seq % Self::GEN_FLOWS) as u32;
+                    }
+                    f
+                })
+                .collect();
+            injected += self.receive_burst_arriving(&frames, Some(target))? as u64;
+            round += 1;
+        }
+        Ok(injected)
+    }
+
+    /// One phase of a shifting-load paced receive run:
+    /// `settle_packets` frames paced at the new gap let a retuning
+    /// system adapt (unmeasured — the per-phase analogue of every
+    /// harness's warm-up), then the settle tail drains event-tight, the
+    /// meter and latency window reset, and `packets` frames are
+    /// measured on a fresh schedule ending with its own tight drain —
+    /// the same settle→drain→reset→measure→drain regime
+    /// [`System::measure_rx_moderated`] measures, so per-phase points
+    /// are comparable with the static moderation sweep's. The drains
+    /// are event-tight ([`System::drain_moderated_tight`]) so no
+    /// artificial trailing idle leaks into a closed-loop tuner's load
+    /// signal at the measure boundary.
+    ///
+    /// The multi-phase harness [`crate::measure::measure_rx_autotuned`]
+    /// strings these together; static-`ITR` and auto-tuned systems run
+    /// the identical code path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-burst errors.
+    pub(crate) fn paced_rx_phase(
+        &mut self,
+        burst: usize,
+        settle_packets: u64,
+        packets: u64,
+        gap_cycles: u64,
+    ) -> Result<crate::measure::RxPhase, SystemError> {
+        let burst = burst.clamp(1, MAX_BURST);
+        self.paced_rx_inject(burst, settle_packets, gap_cycles, true)?;
+        self.drain_moderated_tight()?;
+        self.reset_measurement();
+        let measured = self.paced_rx_inject(burst, packets, gap_cycles, true)?;
+        self.drain_moderated_tight()?;
+        let meter = &self.machine.meter;
+        Ok(crate::measure::RxPhase {
+            gap_cycles,
+            packets: measured,
+            breakdown: crate::measure::Breakdown::from_meter(meter, measured),
+            irqs_per_packet: meter.event("irq") as f64 / measured.max(1) as f64,
+            latency: crate::measure::LatencyStats::from_samples(self.rx_latency.samples()),
+            retunes: meter.event("itr_retune"),
+            itr_end: self
+                .world
+                .nics
+                .iter()
+                .map(twin_nic::Nic::itr)
+                .max()
+                .unwrap_or(0),
         })
     }
 }

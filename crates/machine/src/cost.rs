@@ -135,6 +135,12 @@ pub struct CostParams {
     pub upcall_complete: u64,
     /// Interrupt dispatch cost (vector to handler).
     pub irq_dispatch: u64,
+    /// One ITR auto-tune retune: evaluating the `e1000_update_itr`-style
+    /// state machine over the window counters plus the posted MMIO write
+    /// that reprograms the throttling register. Charged only when the
+    /// register actually changes (window evaluations that keep the value
+    /// are below the model's resolution).
+    pub itr_retune: u64,
     /// Allocating/freeing an sk_buff in the kernel model.
     pub skb_alloc: u64,
     /// DMA map/unmap bookkeeping in the kernel model.
@@ -212,6 +218,7 @@ impl Default for CostParams {
             upcall_dispatch: 170,
             upcall_complete: 90,
             irq_dispatch: 350,
+            itr_retune: 220,
             skb_alloc: 180,
             dma_map: 120,
             spinlock: 40,

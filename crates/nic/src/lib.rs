@@ -115,6 +115,378 @@ pub const LINK_BPS: u64 = 1_000_000_000;
 /// Xeon.
 pub const ITR_UNIT_CYCLES: u64 = 768;
 
+/// Default auto-tune interval window in virtual cycles (~67 µs at
+/// 3.0 GHz): long enough that a window at offered load holds several
+/// packets, short enough that the tuner crosses the whole
+/// [`ITR_LADDER`] well inside one measurement phase.
+pub const AUTOTUNE_WINDOW_CYCLES: u64 = 200_000;
+
+/// The ITR settings the auto-tuner steps along — exactly the static
+/// moderation sweep's grid, so "tracking the pareto front" means landing
+/// on the sweep point the current load regime would have picked.
+pub const ITR_LADDER: [u32; 4] = [0, 500, 1000, 2000];
+
+/// Consecutive busy tuner windows before sustained traffic counts as the
+/// bulk regime (see [`classify_itr_window`]).
+pub const BULK_STREAK_WINDOWS: u32 = 3;
+
+/// Packets a window must carry to count as one sustained-busy window
+/// toward [`BULK_STREAK_WINDOWS`]: a multi-window service span
+/// contributes `min(elapsed, packets / BUSY_WINDOW_PACKETS)` streak
+/// windows (at least one), so one small burst smeared across an
+/// unserviced span — a moderated light-load wait, where the gated
+/// cause also masks the idle signal — reads as a single busy window,
+/// while genuinely saturated spans (tens of packets per window) keep
+/// their full weight.
+pub const BUSY_WINDOW_PACKETS: u64 = 8;
+
+/// Consecutive *bursty* busy windows (each preceded by an idle gap)
+/// before the bulk regime demotes. Linux's `e1000_update_itr` is
+/// likewise asymmetric — `bulk_latency` only steps down on clearly
+/// light intervals — so one isolated gap (a measurement drain, a brief
+/// lull) does not throw away a converged setting, while a genuine drop
+/// to bursty load demotes within two windows.
+pub const BULK_DEMOTE_WINDOWS: u32 = 2;
+
+/// Idle cycles between two busy windows that mark the traffic as
+/// bursty: any gap at least this long (a quarter window) restarts the
+/// sustained-load streak, so only genuinely back-to-back load — the
+/// regime where interrupt cost compounds into receive livelock — can
+/// climb to [`LatencyClass::BulkLatency`]. The tuner learns about idle
+/// through [`ItrTuner::note_idle`]; a device whose latched cause is
+/// merely waiting out its own moderation window is backlogged, not
+/// idle, and must not be fed here.
+pub const IDLE_RESET_CYCLES: u64 = AUTOTUNE_WINDOW_CYCLES / 4;
+
+/// Consecutive *idle* windows before the tuner starts decaying toward
+/// latency mode. Within the grace the knob is frozen, like the real
+/// `e1000_update_itr` (which simply never runs without interrupts):
+/// a pause while a latched cause waits out its own moderation window —
+/// up to `2000 × 768` cycles ≈ 7.7 windows — must not soften the very
+/// window it is waiting on, and an inter-burst lull stacked on top of
+/// such a wait must not either. Sustained idleness beyond the grace
+/// (~4.8 M cycles, 1.6 ms at 3 GHz) steps class and register down one
+/// rung per window, so a device that goes genuinely quiet delivers its
+/// next interrupt immediately.
+pub const IDLE_DECAY_GRACE_WINDOWS: u32 = 24;
+
+/// At most this many packets per window still counts as a trickle…
+pub const TRICKLE_PACKETS: u64 = 4;
+
+/// …provided they carry less than this many bytes (a few small frames:
+/// pure latency mode, like Linux's `lowest_latency` small-packet rule).
+pub const TRICKLE_BYTES: u64 = 4096;
+
+/// Bytes/packet above which a window is bulk regardless of rate
+/// (Linux's `bytes/packets > 8000` jumbo rule in `e1000_update_itr`).
+pub const BULK_BYTES_PER_PACKET: u64 = 8000;
+
+/// The three latency regimes of the Linux e1000 `e1000_update_itr`
+/// state machine. Each maps to a target point on the [`ITR_LADDER`];
+/// the tuner steps the `ITR` register one rung per window toward the
+/// current class's target (hysteresis), so a transient window never
+/// swings the knob across the whole range.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LatencyClass {
+    /// Sporadic, small traffic: deliver every interrupt immediately.
+    LowestLatency,
+    /// Meaningful but bursty traffic: moderate lightly.
+    LowLatency,
+    /// Sustained traffic saturating the service capacity (the
+    /// receive-livelock regime): moderate hard.
+    BulkLatency,
+}
+
+impl LatencyClass {
+    /// The ladder point this regime steers toward.
+    pub fn target_itr(self) -> u32 {
+        match self {
+            LatencyClass::LowestLatency => 0,
+            LatencyClass::LowLatency => 500,
+            LatencyClass::BulkLatency => 2000,
+        }
+    }
+
+    /// One step toward latency mode (an idle window's decay).
+    pub fn decay(self) -> LatencyClass {
+        match self {
+            LatencyClass::BulkLatency => LatencyClass::LowLatency,
+            _ => LatencyClass::LowestLatency,
+        }
+    }
+}
+
+/// Classifies one tuner window from its observed counters — the
+/// `e1000_update_itr` decision, restated on the virtual clock:
+///
+/// * an idle window decays one class toward latency mode;
+/// * jumbo-sized packets (`bytes/packet >` [`BULK_BYTES_PER_PACKET`])
+///   are bulk at any rate, like the real driver's first test;
+/// * the regime promotes on *sustainedness*: traffic in
+///   [`BULK_STREAK_WINDOWS`] consecutive windows with no idle gap means
+///   the device never goes quiet — the bulk regime where interrupt cost
+///   compounds into receive livelock;
+/// * demotion out of bulk is asymmetric: it needs
+///   [`BULK_DEMOTE_WINDOWS`] consecutive *bursty* windows
+///   (`light_streak`), so one isolated gap does not discard a converged
+///   setting;
+/// * below bulk, a trickle (≤ [`TRICKLE_PACKETS`] packets under
+///   [`TRICKLE_BYTES`] bytes) is `lowest_latency` and anything more is
+///   `low_latency`.
+///
+/// `busy_streak` counts consecutive no-idle-gap windows with traffic
+/// *including* this one; `light_streak` counts consecutive bursty
+/// (idle-gapped) busy windows including this one. Pure function so
+/// boundary tests can hit it directly.
+pub fn classify_itr_window(
+    current: LatencyClass,
+    busy_streak: u32,
+    light_streak: u32,
+    packets: u64,
+    bytes: u64,
+) -> LatencyClass {
+    if packets == 0 {
+        return current.decay();
+    }
+    if bytes / packets > BULK_BYTES_PER_PACKET {
+        return LatencyClass::BulkLatency;
+    }
+    if busy_streak >= BULK_STREAK_WINDOWS {
+        return LatencyClass::BulkLatency;
+    }
+    if current == LatencyClass::BulkLatency && light_streak < BULK_DEMOTE_WINDOWS {
+        return LatencyClass::BulkLatency;
+    }
+    if packets <= TRICKLE_PACKETS && bytes < TRICKLE_BYTES {
+        LatencyClass::LowestLatency
+    } else {
+        LatencyClass::LowLatency
+    }
+}
+
+/// One rung along the [`ITR_LADDER`] from `cur` toward `target` (both
+/// snapped to the nearest rung first, so an externally programmed
+/// off-grid value converges onto the ladder instead of wedging).
+pub fn itr_step_toward(cur: u32, target: u32) -> u32 {
+    let nearest = |v: u32| -> usize {
+        ITR_LADDER
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &l)| l.abs_diff(v))
+            .map(|(i, _)| i)
+            .expect("non-empty ladder")
+    };
+    let c = nearest(cur);
+    let t = nearest(target);
+    match t.cmp(&c) {
+        std::cmp::Ordering::Greater => ITR_LADDER[c + 1],
+        std::cmp::Ordering::Less => ITR_LADDER[c - 1],
+        std::cmp::Ordering::Equal => ITR_LADDER[c],
+    }
+}
+
+/// Counters accumulated by the auto-tuner over its most recent closed
+/// interval window (test/bench observability).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TunerWindow {
+    /// Packets the device received in the window.
+    pub packets: u64,
+    /// Bytes the device received in the window.
+    pub bytes: u64,
+    /// Interrupts actually delivered to software in the window.
+    pub irqs: u64,
+}
+
+/// Per-device closed-loop `ITR` auto-tuner, modeled on the Linux e1000
+/// `e1000_update_itr`/`e1000_set_itr` pair: every
+/// [`AUTOTUNE_WINDOW_CYCLES`] of virtual time it consumes the device's
+/// receive-counter deltas, classifies the window into a
+/// [`LatencyClass`], and retunes the `ITR` register **one ladder rung
+/// per window** toward that class's target — hysteresis that keeps a
+/// constant load from oscillating the knob. Short idle gaps freeze the
+/// tuner ([`IDLE_DECAY_GRACE_WINDOWS`]); sustained idleness beyond the
+/// grace decays class and register toward latency mode, so a device
+/// that goes genuinely quiet is ready to deliver the next interrupt
+/// immediately.
+///
+/// The tuner only observes the [`Nic`] and proposes a new value; the
+/// system writes it back through the normal MMIO path, exactly as
+/// driver code would.
+#[derive(Clone, Debug)]
+pub struct ItrTuner {
+    window_cycles: u64,
+    /// Start of the currently accumulating window (virtual cycles).
+    window_start: u64,
+    last_rx_packets: u64,
+    last_rx_bytes: u64,
+    last_irqs_delivered: u64,
+    class: LatencyClass,
+    busy_streak: u32,
+    light_streak: u32,
+    idle_streak: u32,
+    /// True-idle cycles (not gated-pending waits) reported via
+    /// [`ItrTuner::note_idle`] since the last serviced window.
+    idle_accum: u64,
+    /// Counters of the most recent *closed* window.
+    pub last_window: TunerWindow,
+    /// Closed windows so far.
+    pub windows: u64,
+    /// Windows that changed the `ITR` register.
+    pub retunes: u64,
+}
+
+impl ItrTuner {
+    /// Creates a tuner for `nic`, anchored at virtual time `now` with
+    /// the given window length (use [`AUTOTUNE_WINDOW_CYCLES`]).
+    pub fn new(now: u64, window_cycles: u64, nic: &Nic) -> ItrTuner {
+        let s = nic.stats();
+        ItrTuner {
+            window_cycles: window_cycles.max(1),
+            window_start: now,
+            last_rx_packets: s.rx_packets,
+            last_rx_bytes: s.rx_bytes,
+            last_irqs_delivered: nic.irqs_delivered(),
+            class: LatencyClass::LowestLatency,
+            busy_streak: 0,
+            light_streak: 0,
+            idle_streak: 0,
+            idle_accum: 0,
+            last_window: TunerWindow::default(),
+            windows: 0,
+            retunes: 0,
+        }
+    }
+
+    /// The current latency regime.
+    pub fn class(&self) -> LatencyClass {
+        self.class
+    }
+
+    /// Reports `cycles` of true device idleness (nothing latched,
+    /// nothing arriving) inside the current window. The virtual clock
+    /// only elapses when work is charged, so offered-vs-capacity
+    /// pressure is invisible in packet rates alone — idle time is the
+    /// honest load signal, and any gap of [`IDLE_RESET_CYCLES`]
+    /// restarts the sustained-load streak. Do **not** report waits of a
+    /// latched cause on its own moderation window: a gated device is
+    /// backlogged, not idle (at light load its idleness still shows in
+    /// the gap after each window-open delivery clears the cause; the
+    /// [`BUSY_WINDOW_PACKETS`] rate floor keeps the masked span from
+    /// inflating the streak meanwhile).
+    pub fn note_idle(&mut self, cycles: u64) {
+        self.idle_accum = self.idle_accum.saturating_add(cycles);
+    }
+
+    /// When the currently accumulating window closes — the tuner's
+    /// virtual-timer due time.
+    pub fn next_window_at(&self) -> u64 {
+        self.window_start + self.window_cycles
+    }
+
+    /// Services the tuner at virtual time `now`: if at least one window
+    /// has elapsed, consume the device's counter deltas, reclassify on
+    /// the span's totals, and return the one-rung retuned `ITR` value
+    /// when it differs from the device's current one (`None` otherwise —
+    /// including mid-window).
+    ///
+    /// A span of several windows with traffic and no idle means the
+    /// system was processing the whole time (heavy passes outrun the
+    /// wheel): it stays one classification with its packet-rate-capped
+    /// streak weight, never a string of synthetic per-window rates.
+    /// Only sustained idle takes multiple decay steps in one service.
+    pub fn service(&mut self, now: u64, nic: &Nic) -> Option<u32> {
+        if now < self.next_window_at() {
+            return None;
+        }
+        let elapsed = (now - self.window_start) / self.window_cycles;
+        self.window_start += elapsed * self.window_cycles;
+        self.windows += elapsed;
+        let s = nic.stats();
+        let packets = s.rx_packets - self.last_rx_packets;
+        let bytes = s.rx_bytes - self.last_rx_bytes;
+        let irqs = nic.irqs_delivered() - self.last_irqs_delivered;
+        self.last_rx_packets = s.rx_packets;
+        self.last_rx_bytes = s.rx_bytes;
+        self.last_irqs_delivered = nic.irqs_delivered();
+        self.last_window = TunerWindow {
+            packets,
+            bytes,
+            irqs,
+        };
+
+        let cur = nic.itr();
+        let mut new = cur;
+        if packets == 0 && self.idle_accum < IDLE_RESET_CYCLES {
+            // No arrivals, but no reported idleness either: the span
+            // was pure processing (another device's pass, post-pass
+            // bookkeeping) — neutral evidence. Consume the window and
+            // keep every streak; a still-growing idle gap keeps
+            // accumulating toward the next evaluation.
+        } else if packets == 0 {
+            // Genuinely idle windows: frozen within the grace (a
+            // latched cause waiting out its own window must not soften
+            // it), decaying one rung per window beyond it. The loop
+            // bound covers a full decay from the top of the ladder;
+            // longer idles change nothing more.
+            self.busy_streak = 0;
+            self.idle_accum = 0; // absorbed into the idle-window streak
+            let bound = (IDLE_DECAY_GRACE_WINDOWS as u64) + ITR_LADDER.len() as u64;
+            for _ in 0..elapsed.min(bound) {
+                self.idle_streak = self.idle_streak.saturating_add(1);
+                if self.idle_streak > IDLE_DECAY_GRACE_WINDOWS {
+                    self.class = self.class.decay();
+                    new = itr_step_toward(new, self.class.target_itr());
+                }
+            }
+        } else {
+            // Traffic after any idle gap — a whole idle window, or a
+            // sub-window gap reported via `note_idle` — is bursty: the
+            // sustained-load streak restarts and the lightness streak
+            // grows. A multi-window span with *no* idle means the
+            // system was crunching the whole time (processing outran
+            // the wheel) — sustained load, however few new packets the
+            // span carried, so classification uses the span's totals
+            // and the streak weights the span by its packet rate.
+            let bursty = self.idle_streak > 0 || self.idle_accum >= IDLE_RESET_CYCLES;
+            if bursty {
+                self.busy_streak = 0;
+                self.light_streak = self.light_streak.saturating_add(1);
+                // Only a gap that triggered a reset is consumed; a
+                // window boundary landing *inside* a still-growing gap
+                // must not swallow it piecemeal, or a fixed-rate bursty
+                // load whose gaps straddle boundaries would read as
+                // sustained (the boundary-phasing race).
+                self.idle_accum = 0;
+            } else {
+                self.light_streak = 0;
+                // A sub-threshold remainder keeps most of its weight (a
+                // gap may still be growing across this service), but
+                // decays geometrically so *distinct* tiny slivers — a
+                // near-saturated device idling a few percent of every
+                // window — can never pile up into a spurious reset.
+                self.idle_accum /= 2;
+            }
+            self.idle_streak = 0;
+            let span_busy = elapsed.min((packets / BUSY_WINDOW_PACKETS).max(1));
+            self.busy_streak = self.busy_streak.saturating_add(span_busy as u32);
+            self.class = classify_itr_window(
+                self.class,
+                self.busy_streak,
+                self.light_streak,
+                packets,
+                bytes,
+            );
+            new = itr_step_toward(new, self.class.target_itr());
+        }
+        if new != cur {
+            self.retunes += 1;
+            Some(new)
+        } else {
+            None
+        }
+    }
+}
+
 /// Counters a real e1000 keeps in hardware.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct NicStats {
@@ -164,6 +536,10 @@ pub struct Nic {
     /// Virtual-cycle timestamp of the last *delivered* interrupt (the
     /// moderation window anchor); `None` until the first delivery.
     last_irq_cycles: Option<u64>,
+    /// Interrupts actually delivered to software (every
+    /// [`Nic::note_irq_delivered`]) — the rate the ITR auto-tuner
+    /// observes, distinct from `stats.rx_irqs` (hardware assertions).
+    irqs_delivered: u64,
     tx_out: Vec<Frame>,
     /// Partial multi-descriptor TX packet being accumulated.
     tx_partial: Option<(Frame, u32)>,
@@ -199,6 +575,7 @@ impl Nic {
             stats: NicStats::default(),
             itr: 0,
             last_irq_cycles: None,
+            irqs_delivered: 0,
             tx_out: Vec::new(),
             tx_partial: None,
             eerd: 0,
@@ -295,6 +672,13 @@ impl Nic {
     /// time `now`, opening a new moderation window.
     pub fn note_irq_delivered(&mut self, now: u64) {
         self.last_irq_cycles = Some(now);
+        self.irqs_delivered += 1;
+    }
+
+    /// Interrupts delivered to software so far (the auto-tuner's
+    /// per-window interrupt counter reads deltas of this).
+    pub fn irqs_delivered(&self) -> u64 {
+        self.irqs_delivered
     }
 
     /// Number of TX descriptors in the ring (0 before TDLEN is set).
@@ -878,5 +1262,268 @@ mod tests {
         let f = Frame::data(nic.mac(), MacAddr::for_guest(9), 0, 0);
         nic.deliver(&mut phys, &f);
         assert_eq!(nic.rx_free_descriptors(), 6);
+    }
+
+    #[test]
+    fn classifier_boundaries() {
+        use LatencyClass::*;
+        // Idle window: one-class decay toward latency mode.
+        assert_eq!(classify_itr_window(BulkLatency, 0, 0, 0, 0), LowLatency);
+        assert_eq!(classify_itr_window(LowLatency, 0, 0, 0, 0), LowestLatency);
+        assert_eq!(
+            classify_itr_window(LowestLatency, 0, 0, 0, 0),
+            LowestLatency
+        );
+        // Jumbo rule: bytes/packet above the threshold is bulk at any
+        // rate or streak.
+        assert_eq!(
+            classify_itr_window(LowestLatency, 1, 0, 1, BULK_BYTES_PER_PACKET + 1),
+            BulkLatency
+        );
+        assert_eq!(
+            classify_itr_window(LowestLatency, 1, 0, 1, BULK_BYTES_PER_PACKET),
+            LowLatency,
+            "exactly at the threshold is not jumbo (but too big for a trickle)"
+        );
+        // Trickle: both limits must hold.
+        assert_eq!(
+            classify_itr_window(LowLatency, 1, 0, TRICKLE_PACKETS, TRICKLE_BYTES - 1),
+            LowestLatency
+        );
+        assert_eq!(
+            classify_itr_window(LowestLatency, 1, 0, TRICKLE_PACKETS + 1, TRICKLE_BYTES - 1),
+            LowLatency,
+            "one packet over the trickle limit is real traffic"
+        );
+        assert_eq!(
+            classify_itr_window(LowestLatency, 1, 0, TRICKLE_PACKETS, TRICKLE_BYTES),
+            LowLatency,
+            "trickle-count packets at full size are real traffic"
+        );
+        // Sustainedness: the busy-streak boundary decides promotion.
+        assert_eq!(
+            classify_itr_window(LowestLatency, BULK_STREAK_WINDOWS - 1, 0, 32, 48_000),
+            LowLatency
+        );
+        assert_eq!(
+            classify_itr_window(LowestLatency, BULK_STREAK_WINDOWS, 0, 32, 48_000),
+            BulkLatency
+        );
+        // Asymmetric demotion: bulk holds through one bursty window and
+        // steps down only on a sustained run of them.
+        assert_eq!(
+            classify_itr_window(BulkLatency, 1, BULK_DEMOTE_WINDOWS - 1, 32, 48_000),
+            BulkLatency,
+            "one isolated gap does not demote a converged bulk setting"
+        );
+        assert_eq!(
+            classify_itr_window(BulkLatency, 1, BULK_DEMOTE_WINDOWS, 32, 48_000),
+            LowLatency
+        );
+        assert_eq!(
+            classify_itr_window(BulkLatency, 1, BULK_DEMOTE_WINDOWS, TRICKLE_PACKETS, 512),
+            LowestLatency,
+            "a sustained-light trickle demotes straight to lowest"
+        );
+    }
+
+    #[test]
+    fn itr_ladder_steps_one_rung_and_snaps_off_grid_values() {
+        assert_eq!(itr_step_toward(0, 2000), 500);
+        assert_eq!(itr_step_toward(500, 2000), 1000);
+        assert_eq!(itr_step_toward(1000, 2000), 2000);
+        assert_eq!(itr_step_toward(2000, 2000), 2000);
+        assert_eq!(itr_step_toward(2000, 0), 1000);
+        assert_eq!(itr_step_toward(500, 500), 500);
+        // Off-grid values snap to the nearest rung before stepping.
+        assert_eq!(itr_step_toward(600, 2000), 1000);
+        assert_eq!(itr_step_toward(1900, 0), 1000);
+    }
+
+    /// A NIC with a 64-descriptor RX ring over enough physical memory
+    /// for its 64 one-page buffers (the tuner tests' fixture).
+    fn mk_tuner() -> (Nic, PhysMem) {
+        let mut nic = Nic::new(0, MacAddr::for_guest(1));
+        let mut phys = PhysMem::new(128);
+        setup_rx(&mut nic, &mut phys, 64);
+        (nic, phys)
+    }
+
+    fn rx_window(nic: &mut Nic, phys: &mut PhysMem, n: u64, seq0: u64) {
+        let frames: Vec<Frame> = (0..n)
+            .map(|i| Frame::data(nic.mac(), MacAddr::for_guest(9), 1, seq0 + i))
+            .collect();
+        assert_eq!(nic.deliver_batch(phys, &frames), n as usize);
+        // Replenish so the ring never backpressures the test.
+        let tail = nic.mmio_read(regs::RDH).wrapping_sub(1) % nic.rx_ring_len();
+        nic.mmio_write(phys, regs::RDT, tail);
+    }
+
+    #[test]
+    fn tuner_converges_on_constant_load_without_oscillation() {
+        let (mut nic, mut phys) = mk_tuner();
+        let w = AUTOTUNE_WINDOW_CYCLES;
+        let mut tuner = ItrTuner::new(0, w, &nic);
+        let mut seq = 0;
+        let mut trace = Vec::new();
+        for k in 1..=12u64 {
+            // Constant sustained load: 20 MTU frames every window.
+            rx_window(&mut nic, &mut phys, 20, seq);
+            seq += 20;
+            if let Some(new) = tuner.service(k * w, &nic) {
+                nic.mmio_write(&mut phys, regs::ITR, new);
+            }
+            trace.push(nic.itr());
+        }
+        // One rung per window up the ladder, then pinned: no oscillation.
+        assert_eq!(&trace[..4], &[500, 500, 1000, 2000]);
+        assert!(trace[3..].iter().all(|&v| v == 2000), "{trace:?}");
+        assert_eq!(tuner.class(), LatencyClass::BulkLatency);
+        assert_eq!(tuner.last_window.packets, 20);
+        assert!(tuner.retunes >= 3);
+        assert_eq!(tuner.windows, 12);
+    }
+
+    #[test]
+    fn tuner_decays_toward_latency_mode_on_sustained_idle() {
+        let (mut nic, mut phys) = mk_tuner();
+        let w = AUTOTUNE_WINDOW_CYCLES;
+        let mut tuner = ItrTuner::new(0, w, &nic);
+        let mut seq = 0;
+        for k in 1..=5u64 {
+            rx_window(&mut nic, &mut phys, 20, seq);
+            seq += 20;
+            if let Some(new) = tuner.service(k * w, &nic) {
+                nic.mmio_write(&mut phys, regs::ITR, new);
+            }
+        }
+        assert_eq!(nic.itr(), 2000);
+        // Idle windows within the grace: frozen — a latched cause
+        // waiting out its own moderation window must not soften it.
+        let grace = IDLE_DECAY_GRACE_WINDOWS as u64;
+        for k in 6..=5 + grace {
+            tuner.note_idle(w);
+            if let Some(new) = tuner.service(k * w, &nic) {
+                nic.mmio_write(&mut phys, regs::ITR, new);
+            }
+        }
+        assert_eq!(nic.itr(), 2000, "frozen within the grace");
+        // Sustained idleness beyond it decays one rung per window, all
+        // the way down, so the next interrupt delivers immediately.
+        for k in 6 + grace..=5 + grace + 8 {
+            tuner.note_idle(w);
+            if let Some(new) = tuner.service(k * w, &nic) {
+                nic.mmio_write(&mut phys, regs::ITR, new);
+            }
+        }
+        assert_eq!(nic.itr(), 0);
+        assert_eq!(tuner.class(), LatencyClass::LowestLatency);
+        // Mid-window service is a no-op.
+        assert_eq!(tuner.service((5 + grace + 8) * w + w / 2, &nic), None);
+    }
+
+    #[test]
+    fn processing_spans_without_arrivals_are_neutral() {
+        // Windows with no arrivals and no *reported* idle were pure
+        // processing time (another device's pass, bookkeeping): they
+        // neither decay the knob nor reset the sustained-load streak —
+        // only genuine idleness does. This is what keeps a converged
+        // bulk setting stable through heavy multi-window reap passes.
+        let (mut nic, mut phys) = mk_tuner();
+        let w = AUTOTUNE_WINDOW_CYCLES;
+        let mut tuner = ItrTuner::new(0, w, &nic);
+        let mut seq = 0;
+        for k in 1..=5u64 {
+            rx_window(&mut nic, &mut phys, 20, seq);
+            seq += 20;
+            if let Some(new) = tuner.service(k * w, &nic) {
+                nic.mmio_write(&mut phys, regs::ITR, new);
+            }
+        }
+        assert_eq!(nic.itr(), 2000);
+        for k in 6..=40u64 {
+            assert_eq!(tuner.service(k * w, &nic), None, "window {k} moved");
+        }
+        assert_eq!(nic.itr(), 2000);
+        assert_eq!(tuner.class(), LatencyClass::BulkLatency);
+        // And the streak survives, so the next busy window is still
+        // classified as sustained load.
+        rx_window(&mut nic, &mut phys, 20, seq);
+        tuner.service(41 * w, &nic);
+        assert_eq!(tuner.class(), LatencyClass::BulkLatency);
+    }
+
+    #[test]
+    fn tuner_stays_on_nongating_rungs_under_sparse_load() {
+        // Isolated busy windows (bursty light traffic) never climb past
+        // low latency: the sustained-load streak resets at every idle
+        // gap, and short gaps freeze (not decay) the knob.
+        let (mut nic, mut phys) = mk_tuner();
+        let w = AUTOTUNE_WINDOW_CYCLES;
+        let mut tuner = ItrTuner::new(0, w, &nic);
+        let mut seq = 0;
+        for k in 1..=16u64 {
+            if k % 4 == 0 {
+                rx_window(&mut nic, &mut phys, 32, seq);
+                seq += 32;
+            } else {
+                // A sparse system idles its empty windows (the system
+                // reports this through run_idle → note_idle).
+                tuner.note_idle(w);
+            }
+            if let Some(new) = tuner.service(k * w, &nic) {
+                nic.mmio_write(&mut phys, regs::ITR, new);
+            }
+            assert!(nic.itr() <= 500, "window {k}: itr {}", nic.itr());
+            assert!(tuner.class() <= LatencyClass::LowLatency);
+        }
+    }
+
+    #[test]
+    fn sub_window_idle_gaps_keep_bursty_load_off_the_bulk_rung() {
+        // Every window carries traffic, but each service span also saw a
+        // quarter-window of true idleness — bursty traffic, not
+        // sustained: the streak restarts each time and the tuner never
+        // classifies bulk.
+        let (mut nic, mut phys) = mk_tuner();
+        let w = AUTOTUNE_WINDOW_CYCLES;
+        let mut tuner = ItrTuner::new(0, w, &nic);
+        let mut seq = 0;
+        for k in 1..=12u64 {
+            rx_window(&mut nic, &mut phys, 20, seq);
+            seq += 20;
+            tuner.note_idle(IDLE_RESET_CYCLES);
+            if let Some(new) = tuner.service(k * w, &nic) {
+                nic.mmio_write(&mut phys, regs::ITR, new);
+            }
+            assert!(nic.itr() <= 500, "window {k}: itr {}", nic.itr());
+            assert!(tuner.class() <= LatencyClass::LowLatency);
+        }
+        // The same load with no idle gaps is sustained: bulk within the
+        // streak threshold.
+        for k in 13..=17u64 {
+            rx_window(&mut nic, &mut phys, 20, seq);
+            seq += 20;
+            if let Some(new) = tuner.service(k * w, &nic) {
+                nic.mmio_write(&mut phys, regs::ITR, new);
+            }
+        }
+        assert_eq!(tuner.class(), LatencyClass::BulkLatency);
+        assert_eq!(nic.itr(), 2000);
+    }
+
+    #[test]
+    fn delivered_irq_counter_feeds_the_tuner_window() {
+        let (mut nic, mut phys) = mk();
+        setup_rx(&mut nic, &mut phys, 16);
+        let mut tuner = ItrTuner::new(0, 1000, &nic);
+        let f = Frame::data(nic.mac(), MacAddr::for_guest(9), 0, 0);
+        nic.deliver(&mut phys, &f);
+        nic.note_irq_delivered(100);
+        nic.note_irq_delivered(700);
+        assert_eq!(nic.irqs_delivered(), 2);
+        tuner.service(1000, &nic);
+        assert_eq!(tuner.last_window.irqs, 2);
+        assert_eq!(tuner.last_window.packets, 1);
     }
 }
