@@ -6,6 +6,7 @@ use crate::system::{System, SystemError};
 use std::collections::BTreeMap;
 use twin_machine::{CostDomain, CycleMeter};
 use twin_net::{wire_bits, MTU};
+use twin_xen::GrantStats;
 
 /// Modeled CPU frequency — the paper's 3.0 GHz Xeon.
 pub const CPU_HZ: f64 = 3.0e9;
@@ -279,6 +280,10 @@ pub struct AggregateThroughput {
     pub tx: Throughput,
     /// Receive throughput over the `nics` links.
     pub rx: Throughput,
+    /// Grant-table traffic (maps/unmaps/copies, with per-NIC
+    /// attribution) over the whole measurement including warm-up —
+    /// empty for configurations without a hypervisor.
+    pub grants: GrantStats,
 }
 
 impl AggregateThroughput {
@@ -551,12 +556,24 @@ pub fn measure_aggregate_throughput(
             .collect()
     };
 
+    let grants_before = sys
+        .world
+        .xen
+        .as_ref()
+        .map(|x| x.grants.clone())
+        .unwrap_or_default();
     let before = snapshot(sys);
     let tx = sys.measure_tx_burst(burst, packets)?;
     let (tx_links, _) = active(&before, sys);
     let before = snapshot(sys);
     let rx = sys.measure_rx_burst(burst, packets)?;
     let (_, rx_links) = active(&before, sys);
+    let grants = sys
+        .world
+        .xen
+        .as_ref()
+        .map(|x| x.grants.delta_since(&grants_before))
+        .unwrap_or_default();
 
     let tx_cpp = tx.breakdown.total();
     let rx_cpp = rx.breakdown.total();
@@ -567,6 +584,7 @@ pub fn measure_aggregate_throughput(
         rx_cycles_per_packet: rx_cpp,
         tx: throughput(tx_cpp, tx_links.max(1)),
         rx: throughput(rx_cpp, rx_links.max(1)),
+        grants,
     })
 }
 

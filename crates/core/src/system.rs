@@ -31,8 +31,8 @@ use twin_nic::{ItrTuner, Nic, AUTOTUNE_WINDOW_CYCLES, MMIO_WINDOW};
 use twin_rewriter::{rewrite, RewriteOptions, RewriteStats};
 use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
 use twin_xen::{
-    load_hypervisor_driver, HyperSupport, HypervisorDriver, Softirq, Xen, HYP_CODE_BASE,
-    UPCALL_RING_SLOTS, UPCALL_STACK_BASE, UPCALL_STACK_PAGES,
+    load_hypervisor_driver, GrantAccess, GrantCache, HyperSupport, HypervisorDriver, Softirq, Xen,
+    HYP_CODE_BASE, UPCALL_RING_SLOTS, UPCALL_STACK_BASE, UPCALL_STACK_PAGES,
 };
 pub use twin_xen::{DomId, UpcallMode};
 
@@ -53,6 +53,21 @@ pub const IDENTITY_STLB_BASE: u64 = 0x2f00_0000;
 
 /// Guest heap base (paravirtual driver buffers).
 pub const GUEST_HEAP_BASE: u64 = 0x4000_0000;
+
+/// Guest VA where a zero-copy buffer pool is mapped (one region per
+/// granted guest, [`SystemOptions::zero_copy_pool_frames`] pages).
+pub const ZC_POOL_BASE: u64 = 0x5000_0000;
+
+/// Bytes one zero-copy pool slot holds (the e1000's 2 KiB RX buffer
+/// size); frames longer than this cannot land in a slot and take the
+/// copy fallback.
+pub const ZC_SLOT_BYTES: u32 = 2048;
+
+/// Live mappings the grant cache holds before LRU eviction kicks in —
+/// sized for every pool slot of a realistic flow set (64 flows × a
+/// 64-frame pool), so steady state never evicts; pathological flow
+/// churn degrades to extra map/unmap pairs, never to wrong behaviour.
+pub const ZC_CACHE_CAPACITY: usize = 4096;
 
 /// MAC address of the external traffic peer (the "client machines").
 pub fn peer_mac() -> MacAddr {
@@ -196,6 +211,21 @@ pub struct SystemOptions {
     /// (the default) leaves whatever [`SystemOptions::itr`] programmed
     /// untouched and is cycle-exact with the static path.
     pub itr_autotune: bool,
+    /// Zero-copy grant-mapped datapath (guest configurations): RX/TX
+    /// buffer pools are granted once, mapped on first touch through the
+    /// [`twin_xen::GrantCache`] and recycled via an index ring, so the
+    /// per-packet grant-copy (and the baseline path's per-buffer
+    /// map/unmap pair) disappears in steady state. Frames that cross a
+    /// protection domain anyway — oversized, pool-exhausted, or headed
+    /// to a guest whose pool was never granted — take the copy
+    /// fallback. `false` (the default) is cycle-exact with the copy
+    /// path.
+    pub zero_copy: bool,
+    /// Pool slots granted per guest in zero-copy mode, per flow
+    /// direction: a flow that lands more frames than this in one flush
+    /// pass overflows its slice of the pool and the excess falls back
+    /// to copies (clamped to 1..=[`MAX_BURST`]).
+    pub zero_copy_pool_frames: usize,
 }
 
 impl Default for SystemOptions {
@@ -215,6 +245,8 @@ impl Default for SystemOptions {
             itr: 0,
             upcall_flush_deadline_cycles: None,
             itr_autotune: false,
+            zero_copy: false,
+            zero_copy_pool_frames: 64,
         }
     }
 }
@@ -344,6 +376,13 @@ impl Env for World {
                 iommu.check_tx_ring(m, &mut self.nics[dev as usize], val)?;
             }
         }
+        if offset == twin_nic::regs::RDT {
+            // Posted RX buffers are DMA-write targets: validate them at
+            // the same doorbell boundary the TX ring gets.
+            if let Some(iommu) = &mut self.iommu {
+                iommu.check_rx_ring(m, &mut self.nics[dev as usize], val)?;
+            }
+        }
         self.nics[dev as usize].mmio_write(&mut m.phys, offset, val);
         Ok(())
     }
@@ -411,6 +450,23 @@ pub struct System {
     /// Per-endpoint cursors into the delivered-frame logs (`u32::MAX`
     /// keys the dom0 stack, domain ids key the guests).
     rx_sample_cursors: BTreeMap<u32, usize>,
+    /// Zero-copy mode ([`SystemOptions::zero_copy`]).
+    zero_copy: bool,
+    /// Pool slots per guest per flow direction
+    /// ([`SystemOptions::zero_copy_pool_frames`]).
+    zc_pool_frames: usize,
+    /// Live grant mappings of the zero-copy pools (`None` when the mode
+    /// is off — the copy path allocates nothing).
+    grant_cache: Option<GrantCache>,
+    /// Domains whose zero-copy pool has been granted: the build grants
+    /// the primary guest; later guests opt in via
+    /// [`System::grant_zero_copy_pool`]. Frames toward an ungranted
+    /// domain take the copy fallback.
+    zc_granted: std::collections::BTreeSet<u32>,
+    /// Which NIC last carried each RX flow (recorded where the wire
+    /// side shards, read where grant work loses the device) — pure
+    /// bookkeeping behind the per-device grant attribution.
+    rx_flow_dev: BTreeMap<u32, u32>,
     dom0: SpaceId,
     dom0_stack_top: u64,
     guest_tx_frag: u64,
@@ -613,6 +669,11 @@ impl System {
             rx_inflight: BTreeMap::new(),
             rx_latency: crate::measure::SampleReservoir::new(crate::measure::RX_LATENCY_RESERVOIR),
             rx_sample_cursors: BTreeMap::new(),
+            zero_copy: opts.zero_copy,
+            zc_pool_frames: opts.zero_copy_pool_frames.clamp(1, MAX_BURST),
+            grant_cache: None,
+            zc_granted: std::collections::BTreeSet::new(),
+            rx_flow_dev: BTreeMap::new(),
             dom0,
             dom0_stack_top,
             guest_tx_frag: 0,
@@ -730,6 +791,16 @@ impl System {
         // Baseline guest path: dom0 bridges instead of consuming locally.
         if config == Config::XenGuest {
             sys.world.kernel.rx_mode = RxMode::Bridge;
+        }
+
+        // Zero-copy datapath: the grant cache comes up empty (mappings
+        // establish on first touch) and the primary guest's buffer pool
+        // is granted and pre-pinned up front. Entirely absent when the
+        // knob is off — the copy path allocates and charges nothing.
+        if opts.zero_copy && matches!(config, Config::XenGuest | Config::TwinDrivers) {
+            sys.grant_cache = Some(GrantCache::new(ZC_CACHE_CAPACITY));
+            let gid = sys.guest.expect("guest configurations have a guest");
+            sys.grant_zero_copy_pool(gid)?;
         }
 
         Ok(sys)
@@ -1440,10 +1511,28 @@ impl System {
         xen.send_virq(&mut self.machine, DomId::DOM0, 1);
         xen.switch_to(&mut self.machine, DomId::DOM0);
         // netback: map each granted guest page, build skbs, bridge them.
+        // In zero-copy mode the guest's TX pool is already mapped: a
+        // cache hit replaces the per-packet map (and the unmap below);
+        // fallback frames keep the baseline map/unmap pair.
+        let mut zc_occ: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut zc_landed = 0usize;
         let mut skbs = Vec::with_capacity(frames.len());
         for frame in frames {
-            let xen = self.world.xen.as_mut().unwrap();
-            xen.grant_map(&mut self.machine);
+            let zc_hit = if self.zero_copy {
+                let slot = *zc_occ.get(&frame.flow).unwrap_or(&0);
+                let hit = self.zc_access(gid, frame.flow, true, slot, frame.len(), dev);
+                if hit {
+                    *zc_occ.entry(frame.flow).or_insert(0) += 1;
+                    zc_landed += 1;
+                }
+                hit
+            } else {
+                false
+            };
+            if !zc_hit {
+                let xen = self.world.xen.as_mut().unwrap();
+                xen.grant_map_dev(&mut self.machine, dev);
+            }
             {
                 let m = &mut self.machine;
                 m.meter
@@ -1466,10 +1555,12 @@ impl System {
             }
         }
         let sent = self.drive_tx(&skbs, false, dev)?;
-        // Unmap, produce the responses, one notification, switch back.
+        // Unmap the per-packet (non-pool) mappings, produce the
+        // responses, one notification, switch back. Pool pages stay
+        // mapped — that is the point of zero-copy mode.
         let xen = self.world.xen.as_mut().unwrap();
-        for _ in frames {
-            xen.grant_unmap(&mut self.machine);
+        for _ in 0..frames.len() - zc_landed {
+            xen.grant_unmap_dev(&mut self.machine, dev);
         }
         xen.send_virq(&mut self.machine, gid, 2);
         xen.switch_to(&mut self.machine, gid);
@@ -1547,6 +1638,8 @@ impl System {
     /// context. A burst pays **one** hypercall and one driver
     /// invocation/doorbell.
     fn tx_twin(&mut self, frames: &[Frame], dev: u32) -> Result<usize, SystemError> {
+        let gid = self.guest.expect("guest");
+        let mut zc_occ: BTreeMap<u32, usize> = BTreeMap::new();
         for i in 0..frames.len() {
             let c = self.tx_stack_cost(i);
             let m = &mut self.machine;
@@ -1587,11 +1680,29 @@ impl System {
             };
             skbs.push(skb);
             // Copy the packet header into the sk_buff and chain the rest
-            // of the guest packet as a page fragment.
-            {
-                let m = &mut self.machine;
-                let c = m.cost.copy_cycles(header_copy as u64);
-                m.meter.charge_to(CostDomain::Xen, c);
+            // of the guest packet as a page fragment. With a warm
+            // zero-copy pool the header lives in an already-mapped pool
+            // page, so even the header copy collapses to the cached
+            // grant access; fallback frames bounce through the copy.
+            let zc_hit = if self.zero_copy {
+                let slot = *zc_occ.get(&frame.flow).unwrap_or(&0);
+                let hit = self.zc_access(gid, frame.flow, true, slot, frame.len(), dev);
+                if hit {
+                    *zc_occ.entry(frame.flow).or_insert(0) += 1;
+                }
+                hit
+            } else {
+                false
+            };
+            if !zc_hit {
+                {
+                    let m = &mut self.machine;
+                    let c = m.cost.copy_cycles(header_copy as u64);
+                    m.meter.charge_to(CostDomain::Xen, c);
+                }
+                if let Some(xen) = self.world.xen.as_mut() {
+                    xen.note_grant_copy(Some(dev));
+                }
             }
             let filled = skb
                 .fill_from_frame(&mut self.machine, self.dom0, frame)
@@ -1728,6 +1839,16 @@ impl System {
                         for f in &pending[..accepted] {
                             self.rx_inflight.insert((f.flow, f.seq), stamp);
                         }
+                    }
+                    // Flow→device attribution for grant accounting: the
+                    // demux flush no longer knows which NIC carried a
+                    // frame, so remember it here (bookkeeping only; the
+                    // map is bounded by the live flow set).
+                    if self.rx_flow_dev.len() > 8192 {
+                        self.rx_flow_dev.clear();
+                    }
+                    for f in &pending[..accepted] {
+                        self.rx_flow_dev.insert(f.flow, *dev);
                     }
                     pending.drain(..accepted);
                     done += accepted;
@@ -1906,6 +2027,156 @@ impl System {
         Ok(gid)
     }
 
+    /// Whether the zero-copy datapath is active.
+    pub fn zero_copy(&self) -> bool {
+        self.zero_copy
+    }
+
+    /// Grant-cache counters (`None` when zero-copy mode is off).
+    pub fn grant_cache_stats(&self) -> Option<twin_xen::GrantCacheStats> {
+        self.grant_cache.as_ref().map(|c| c.stats)
+    }
+
+    /// Grants a guest's zero-copy buffer pool: maps the pool region in
+    /// the guest's space and pre-pins its frames through the IOMMU
+    /// allowlist (one coalesced range per run of consecutive pfns, so
+    /// the per-doorbell ring walk stays a range check). The build does
+    /// this for the primary guest; guests added later start ungranted —
+    /// their frames take the copy fallback until this runs. Returns the
+    /// pages granted (0 when already granted or zero-copy is off).
+    ///
+    /// # Errors
+    ///
+    /// Fails if pool memory cannot be mapped.
+    pub fn grant_zero_copy_pool(&mut self, gid: DomId) -> Result<usize, SystemError> {
+        if !self.zero_copy || self.zc_granted.contains(&gid.0) {
+            return Ok(0);
+        }
+        let gspace = self
+            .world
+            .xen
+            .as_ref()
+            .ok_or_else(|| SystemError::Build("no hypervisor in this configuration".into()))?
+            .domain(gid)
+            .space;
+        let pages = self.zc_pool_frames as u64;
+        // Re-granting after a revocation reuses the pool pages already
+        // mapped in the guest; only a first grant allocates.
+        if self
+            .machine
+            .translate(gspace, ExecMode::Guest, ZC_POOL_BASE, false)
+            .is_err()
+        {
+            self.machine.map_fresh(gspace, ZC_POOL_BASE, pages)?;
+        }
+        if let Some(iommu) = self.world.iommu.as_mut() {
+            // Pin the pool up front, coalescing consecutive pfns.
+            let mut run: Option<(u64, u64)> = None; // (start_pfn, count)
+            for p in 0..pages {
+                let t = self.machine.translate(
+                    gspace,
+                    ExecMode::Guest,
+                    ZC_POOL_BASE + p * PAGE_SIZE,
+                    false,
+                )?;
+                run = match run {
+                    Some((start, n)) if t.entry.pfn == start + n => Some((start, n + 1)),
+                    Some((start, n)) => {
+                        iommu.pin_range(start, n);
+                        Some((t.entry.pfn, 1))
+                    }
+                    None => Some((t.entry.pfn, 1)),
+                };
+            }
+            if let Some((start, n)) = run {
+                iommu.pin_range(start, n);
+            }
+        }
+        self.zc_granted.insert(gid.0);
+        Ok(pages as usize)
+    }
+
+    /// Revokes every cached grant a guest owns — the quarantine seam
+    /// for fault isolation: when trust in a guest (or the driver slice
+    /// serving it) is withdrawn, its live pool mappings are torn down
+    /// (one `grant_unmap` each, charged) and subsequent frames fall
+    /// back to copies until the pool is granted again. Returns how many
+    /// mappings were revoked.
+    pub fn revoke_zero_copy_grants(&mut self, gid: DomId) -> usize {
+        let Some(cache) = self.grant_cache.as_mut() else {
+            return 0;
+        };
+        let n = cache.revoke_domain(gid.0);
+        for _ in 0..n {
+            self.world
+                .xen
+                .as_mut()
+                .expect("zero-copy implies a hypervisor")
+                .grant_unmap(&mut self.machine);
+        }
+        self.zc_granted.remove(&gid.0);
+        n
+    }
+
+    /// One zero-copy slot access for a frame toward domain `dom`:
+    /// `slot` is the frame's index within its `(flow, direction)` pool
+    /// slice for the current pass. Charges `grant_cache_hit` on a hit;
+    /// `grant_map` + `pin_page` on a first-touch miss (plus a
+    /// `grant_unmap` when LRU eviction made room); `copy_fallback`
+    /// dispatch when the frame cannot land in a slot — ungranted
+    /// domain, oversized frame, or exhausted pool slice. Returns `true`
+    /// when the mapping covers the frame (the caller skips its copy),
+    /// `false` on fallback (the caller copies and charges as in copy
+    /// mode).
+    fn zc_access(
+        &mut self,
+        dom: DomId,
+        flow: u32,
+        tx: bool,
+        slot: usize,
+        len: u32,
+        dev: u32,
+    ) -> bool {
+        if !self.zc_granted.contains(&dom.0) || len > ZC_SLOT_BYTES || slot >= self.zc_pool_frames {
+            let m = &mut self.machine;
+            m.meter.charge_to(CostDomain::Xen, m.cost.copy_fallback);
+            m.meter.count_event("copy_fallback");
+            return false;
+        }
+        let page = (u64::from(tx) << 48) | (u64::from(flow) << 16) | slot as u64;
+        let access = self
+            .grant_cache
+            .as_mut()
+            .expect("granted domains imply a cache")
+            .access(dom.0, page);
+        match access {
+            GrantAccess::Hit => {
+                let m = &mut self.machine;
+                m.meter.charge_to(CostDomain::Xen, m.cost.grant_cache_hit);
+                m.meter.count_event("grant_cache_hit");
+            }
+            GrantAccess::Miss { evicted } => {
+                self.world
+                    .xen
+                    .as_mut()
+                    .expect("zero-copy implies a hypervisor")
+                    .grant_map_dev(&mut self.machine, dev);
+                let m = &mut self.machine;
+                m.meter.charge_to(CostDomain::Xen, m.cost.pin_page);
+                m.meter.count_event("pin_page");
+                if evicted.is_some() {
+                    self.world
+                        .xen
+                        .as_mut()
+                        .unwrap()
+                        .grant_unmap(&mut self.machine);
+                    self.machine.meter.count_event("grant_cache_evict");
+                }
+            }
+        }
+        true
+    }
+
     fn dispatch_dom0_irq(&mut self, dev: u32) -> Result<(), SystemError> {
         // One interrupt covers however many descriptors the NIC filled;
         // the first packet the handler pushes into the stack pays the
@@ -1973,19 +2244,40 @@ impl System {
         let gid = self.guest.expect("guest");
         let frames: Vec<Frame> = self.world.kernel.rx_delivered.drain(..).collect();
         let batched = !frames.is_empty();
+        let mut zc_occ: BTreeMap<u32, usize> = BTreeMap::new();
         for (i, f) in frames.into_iter().enumerate() {
+            let dev = self.rx_flow_dev.get(&f.flow).copied().unwrap_or(0);
             {
                 let m = &mut self.machine;
                 m.meter
                     .charge_to(CostDomain::Dom0, m.cost.netfront_per_packet);
                 m.meter.charge_to(CostDomain::Dom0, m.cost.backend_rx_extra);
-                // Grant-copy of the packet into guest memory.
-                let c = m.cost.copy_cycles(f.len() as u64);
-                m.meter.charge_to(CostDomain::Dom0, c);
             }
-            let xen = self.world.xen.as_mut().unwrap();
-            xen.grant_map(&mut self.machine);
-            xen.grant_unmap(&mut self.machine);
+            // Zero-copy: the frame lands straight in the guest's granted
+            // RX pool — a warm pool page costs one cached grant access
+            // instead of a grant-copy bracketed by map/unmap.
+            let zc_hit = if self.zero_copy {
+                let slot = *zc_occ.get(&f.flow).unwrap_or(&0);
+                let hit = self.zc_access(gid, f.flow, false, slot, f.len(), dev);
+                if hit {
+                    *zc_occ.entry(f.flow).or_insert(0) += 1;
+                }
+                hit
+            } else {
+                false
+            };
+            if !zc_hit {
+                {
+                    let m = &mut self.machine;
+                    // Grant-copy of the packet into guest memory.
+                    let c = m.cost.copy_cycles(f.len() as u64);
+                    m.meter.charge_to(CostDomain::Dom0, c);
+                }
+                let xen = self.world.xen.as_mut().unwrap();
+                xen.grant_map_dev(&mut self.machine, dev);
+                xen.grant_unmap_dev(&mut self.machine, dev);
+                xen.note_grant_copy(Some(dev));
+            }
             {
                 let m = &mut self.machine;
                 m.meter
@@ -2073,6 +2365,10 @@ impl System {
         // flush (later rounds arrive in the same scheduling pass, so they
         // only pay the batched marginal).
         let mut woken: Vec<DomId> = Vec::new();
+        // Zero-copy pool occupancy per (guest, flow) across the whole
+        // flush: each landed frame takes the next slot of its flow's
+        // index ring, and the ring recycles when the flush completes.
+        let mut zc_occ: BTreeMap<(u32, u32), usize> = BTreeMap::new();
         let mut round = 0usize;
         loop {
             let guest_ids: Vec<DomId> = self
@@ -2103,10 +2399,32 @@ impl System {
                     woken.push(g);
                 }
                 for (i, f) in frames.into_iter().enumerate() {
+                    let dev = self.rx_flow_dev.get(&f.flow).copied().unwrap_or(0);
+                    // Zero-copy: the twin driver posted a pool page for
+                    // this slot, so delivery is a cached grant access
+                    // instead of a copy into the guest.
+                    let zc_hit = if self.zero_copy {
+                        let slot = *zc_occ.get(&(g.0, f.flow)).unwrap_or(&0);
+                        let hit = self.zc_access(g, f.flow, false, slot, f.len(), dev);
+                        if hit {
+                            *zc_occ.entry((g.0, f.flow)).or_insert(0) += 1;
+                        }
+                        hit
+                    } else {
+                        false
+                    };
+                    if !zc_hit {
+                        {
+                            let m = &mut self.machine;
+                            let c = m.cost.copy_cycles(f.len() as u64);
+                            m.meter.charge_to(CostDomain::Xen, c);
+                        }
+                        if let Some(xen) = self.world.xen.as_mut() {
+                            xen.note_grant_copy(Some(dev));
+                        }
+                    }
                     {
                         let m = &mut self.machine;
-                        let c = m.cost.copy_cycles(f.len() as u64);
-                        m.meter.charge_to(CostDomain::Xen, c);
                         m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_rx);
                     }
                     {

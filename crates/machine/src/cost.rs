@@ -99,6 +99,18 @@ pub struct CostParams {
     pub grant_map: u64,
     /// Grant-table unmap of one page.
     pub grant_unmap: u64,
+    /// Hit on an already-established grant mapping (zero-copy mode):
+    /// validating the cached entry and bumping its recycle index — no
+    /// hypercall, no page-table work.
+    pub grant_cache_hit: u64,
+    /// Pinning one pool page through the IOMMU allowlist at map time
+    /// (page-table walk, allowlist insert, flush of the stale IOTLB
+    /// entry). Paid once per pool page, never per packet.
+    pub pin_page: u64,
+    /// Fixed dispatch overhead of taking the copy fallback in zero-copy
+    /// mode (detecting the misaligned/exhausted/not-granted buffer and
+    /// routing the frame to the bounce path), on top of the copy itself.
+    pub copy_fallback: u64,
     /// Software bridge lookup + forwarding decision in dom0.
     pub bridge_per_packet: u64,
     /// Fixed cost of a memory copy (function call, setup).
@@ -202,6 +214,9 @@ impl Default for CostParams {
             virq_deliver: 450,
             grant_map: 1050,
             grant_unmap: 950,
+            grant_cache_hit: 90,
+            pin_page: 400,
+            copy_fallback: 120,
             bridge_per_packet: 580,
             copy_base: 60,
             copy_per_byte_x100: 235,

@@ -4,6 +4,9 @@
 //!
 //! * [`xen::Xen`] — domains, domain switches (the overhead TwinDrivers
 //!   eliminates), hypercalls, event channels, grant tables, softirqs;
+//! * [`grant::GrantCache`] — the map-once/recycle grant table behind the
+//!   zero-copy datapath: pool pages mapped on first touch, LRU-evicted
+//!   at capacity, revocable per domain (the quarantine seam);
 //! * [`support::HyperSupport`] — the ten hypervisor implementations of
 //!   the fast-path support routines (paper §4.3, Table 1) and the
 //!   **upcall** mechanism that forwards everything else to dom0 (§4.2),
@@ -19,12 +22,14 @@
 //! crate.
 
 pub mod domain;
+pub mod grant;
 pub mod hyperdrv;
 pub mod support;
 pub mod upcall;
 pub mod xen;
 
 pub use domain::{DomId, Domain, DomainKind};
+pub use grant::{GrantAccess, GrantCache, GrantCacheStats};
 pub use hyperdrv::{
     load_hypervisor_driver, HypervisorDriver, HYP_CODE_BASE, HYP_STACK_BASE, HYP_STACK_PAGES,
     UPCALL_RING_BASE, UPCALL_RING_PAGES, UPCALL_RING_SLOTS, UPCALL_STACK_BASE, UPCALL_STACK_PAGES,
@@ -33,4 +38,4 @@ pub use support::{HyperSupport, UPCALL_PORT};
 pub use upcall::{
     Completion, QueuedUpcall, UpcallEngine, UpcallMode, UpcallStats, UPCALL_COMPLETION_PORT,
 };
-pub use xen::{GrantStats, Softirq, Xen};
+pub use xen::{DevGrantStats, GrantStats, Softirq, Xen};
