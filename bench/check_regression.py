@@ -28,9 +28,11 @@ import sys
 # Fields that identify a sweep point; everything else is a measurement.
 # "profile"/"phase" key the autotune sweep's shifting-load points (each
 # load-profile phase is its own gated point); "zerocopy" splits the
-# zero-copy sweep's on/off modes into separately gated points.
+# zero-copy sweep's on/off modes into separately gated points;
+# "offered"/"guest" key the livelock sweep's offered-load multiples and
+# per-guest breakdowns.
 ID_FIELDS = ("config", "profile", "phase", "nics", "burst", "upcalls",
-             "itr", "mode", "zerocopy")
+             "itr", "mode", "zerocopy", "offered", "guest")
 
 
 def key_of(entry):
@@ -89,6 +91,29 @@ def self_test():
                0.10, quiet=True) == 1)
     check("identical run passes", gate(keyed, dict(keyed), 0.10, quiet=True) == 0)
 
+    # Livelock identity: the offered-load multiple and the guest axis
+    # key distinct gated points.
+    live = [
+        {"config": "a", "profile": "flood_one_guest", "mode": "controlled",
+         "offered": 1.0, "guest": "all", "rx_cycles_per_packet": 100.0},
+        {"config": "a", "profile": "flood_one_guest", "mode": "controlled",
+         "offered": 10.0, "guest": "all", "rx_cycles_per_packet": 110.0},
+    ]
+    check("offered-load multiples key distinct livelock points",
+          len({key_of(e) for e in live}) == 2)
+    check("guest is an identity field", ("guest", "all") in key_of(live[0]))
+
+    # Stale-baseline detection: a baseline keyed by identity fields no
+    # current entry emits must warn (the points also fail as missing —
+    # the warning says *why*).
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        rc = gate({key_of(e): e for e in live},
+                  {key_of(e): e for e in good["entries"]}, 0.10)
+    check("baseline with vanished identity fields fails the gate", rc == 1)
+    check("stale baseline identity fields warn",
+          "stale baseline" in out.getvalue())
+
     # Malformed baselines must raise, not silently gate nothing.
     for name, blob in [
         ("baseline without \"entries\" raises", '{"packets": 64}'),
@@ -141,6 +166,17 @@ def gate(base, cur, tolerance, quiet=False):
     if not quiet:
         for k in sorted(unknown):
             print(f"  WARN  {label_of(k)}: not in baseline (ungated; refresh the baseline)")
+
+    # Stale-baseline detection: an identity *field* that appears in the
+    # baseline's keys but in no current entry means the sweep stopped
+    # emitting it (renamed or dropped) — every one of those baseline
+    # points would "go missing" for a structural reason, not a perf one.
+    base_fields = {f for key in base for f, _ in key}
+    cur_fields = {f for key in cur for f, _ in key}
+    stale = sorted(base_fields - cur_fields)
+    if stale and not quiet:
+        print(f"  WARN  baseline identity field(s) {', '.join(stale)} absent "
+              "from every current entry — stale baseline? regenerate it")
 
     if failures:
         if not quiet:

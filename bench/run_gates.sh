@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Matrix driver for the bench sweeps and their regression gates.
+#
+# One manifest line per sweep: `bench  baseline  output`. A `-` baseline
+# means the sweep runs ungated (it still enforces any acceptance checks
+# built into the bench itself). Adding a sweep to CI is adding a line.
+#
+# Environment:
+#   TWIN_BENCH_PACKETS    forwarded to the benches (unset = full budget)
+#   TWIN_BENCH_TOLERANCE  gate tolerance (default 0.10)
+#   TWIN_BENCH_GATE=0     run the sweeps but skip the baseline gates
+#                         (nightly full-budget runs: the committed
+#                         baselines are 64-packet numbers)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tolerance="${TWIN_BENCH_TOLERANCE:-0.10}"
+gate="${TWIN_BENCH_GATE:-1}"
+
+manifest="
+batch_sweep       -                             -
+shard_sweep       bench/baseline.json           BENCH_shard.json
+upcall_sweep      bench/baseline_upcall.json    BENCH_upcall.json
+moderation_sweep  bench/baseline_itr.json       BENCH_itr.json
+autotune_sweep    bench/baseline_autotune.json  BENCH_autotune.json
+zerocopy_sweep    bench/baseline_zerocopy.json  BENCH_zerocopy.json
+livelock_sweep    bench/baseline_livelock.json  BENCH_livelock.json
+"
+
+while read -r bench baseline output; do
+  [ -n "$bench" ] || continue
+  echo "==> $bench"
+  cargo bench -p twin-bench --bench "$bench"
+  if [ "$baseline" != "-" ] && [ "$gate" != "0" ]; then
+    python3 bench/check_regression.py "$baseline" "$output" --tolerance "$tolerance"
+  fi
+done <<EOF
+$manifest
+EOF

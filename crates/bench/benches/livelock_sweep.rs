@@ -1,0 +1,233 @@
+//! Receive-livelock sweep: NAPI-style overload control (interrupt→poll
+//! switching + per-guest DRR weights + early drop at admission) vs the
+//! uncontrolled per-arrival-interrupt discipline, under an **open-loop**
+//! arrival schedule swept from 0.5× to 10× of the calibrated knee.
+//!
+//! Not a paper figure — the paper's harnesses are closed-loop (netperf
+//! paces itself), so they can measure the cost of overload but never
+//! the collapse. This sweep fixes the arrival schedule: one burst every
+//! `gap` cycles regardless of whether the consumer kept up, which is
+//! the regime of Mogul & Ramakrishnan's receive livelock. Without
+//! control, every arrival's interrupt reaps frames into per-guest
+//! queues that overflow at their cap — all reap/demux work on a capped
+//! frame is pure waste — and goodput falls as offered load rises past
+//! the knee. With control, the flooded NIC masks its interrupt and is
+//! serviced by a budgeted poll; excess frames die free in the ring or
+//! at the cheap admission watermark; victims keep their weighted DRR
+//! share.
+//!
+//! Adversarial profiles: `flood_one_guest` (one heavy flow), the same
+//! aggregate load as `flow_churn` (flow-id churn defeats flow-affinity
+//! state) and `elephant_mice` (bimodal). Victim guests always trickle
+//! at a fixed sub-capacity rate — the fairness question is whether the
+//! flood's overload leaks into them.
+//!
+//! Acceptance at 4 NICs / burst 32 / `flood_one_guest`:
+//! * controlled goodput at 10× ≥ 70% of its knee (1.0×) goodput;
+//! * controlled victim p99 at 10× ≤ 3× its unloaded (0.5×) p99;
+//! * uncontrolled goodput falls monotonically past the knee and ends
+//!   below 70% of its knee — the collapse the controls exist to stop.
+//!
+//! Besides the human-readable table, the sweep writes
+//! **`BENCH_livelock.json`** (workspace root) so CI's bench-regression
+//! gate can track the trajectory against `bench/baseline_livelock.json`.
+
+use twin_bench::{banner, packets};
+use twindrivers::measure::{measure_rx_livelock, LivelockPoint, OverloadProfile};
+use twindrivers::net::MacAddr;
+use twindrivers::{Config, ShardPolicy, System, SystemOptions};
+
+const NICS: usize = 4;
+const BURST: usize = 32;
+/// Demux queue cap for both modes (the uncontrolled drop point: every
+/// frame reaped and then capped here was pure wasted work).
+const QUEUE_CAP: usize = 128;
+/// Overload-control knobs (controlled mode only). The poll weight is
+/// deliberately much smaller than a knee gap's worth of work so a poll
+/// pass (reap + flush) completes well inside a gap — victims are
+/// serviced at pass granularity, not once per flood drain.
+const NAPI_WEIGHT: usize = 8;
+const WATERMARK: usize = 64;
+const VICTIM_WEIGHT: u32 = 2;
+/// Small DRR quantum (both modes) so a victim's flush turn comes after
+/// at most a few flood copies, and a flush round is fine-grained
+/// relative to the arrival gap.
+const FLUSH_QUANTUM: usize = 8;
+/// Offered-load multiples in tenths (5 = 0.5×, 100 = 10×).
+const FULL_SWEEP: [u32; 5] = [5, 10, 20, 40, 100];
+const SPOT_SWEEP: [u32; 2] = [10, 100];
+
+fn build(controlled: bool) -> System {
+    let opts = SystemOptions {
+        num_nics: NICS,
+        shard: ShardPolicy::FlowHash,
+        rx_queue_cap: Some(QUEUE_CAP),
+        napi_weight: if controlled { NAPI_WEIGHT } else { 0 },
+        rx_backlog_watermark: controlled.then_some(WATERMARK),
+        rx_flush_quantum: FLUSH_QUANTUM,
+        guest_weights: if controlled {
+            vec![(2, VICTIM_WEIGHT), (3, VICTIM_WEIGHT)]
+        } else {
+            Vec::new()
+        },
+        ..SystemOptions::default()
+    };
+    let mut sys = System::build_with(Config::TwinDrivers, &opts).expect("build system");
+    // Guest 1 (the primary) is the flood target; 2 and 3 are victims.
+    sys.add_guest(MacAddr::for_guest(2))
+        .expect("victim guest 2");
+    sys.add_guest(MacAddr::for_guest(3))
+        .expect("victim guest 3");
+    sys
+}
+
+/// Calibrates the knee: the closed-loop amortized RX cost at the sweep
+/// burst sets the gap at which a 1.0× open-loop schedule just
+/// saturates the consumer.
+fn knee_gap() -> u64 {
+    let mut sys = build(false);
+    let m = sys
+        .measure_rx_burst(BURST, packets())
+        .expect("knee calibration");
+    (BURST as f64 * m.breakdown.total()) as u64
+}
+
+fn json_entry(mode: &str, p: &LivelockPoint) -> String {
+    format!(
+        concat!(
+            "    {{\"config\": \"{}\", \"profile\": \"{}\", \"mode\": \"{}\", ",
+            "\"offered\": {:.1}, \"guest\": \"all\", \"nics\": {}, \"burst\": {}, ",
+            "\"rx_cycles_per_packet\": {:.1}, \"goodput_mbps\": {:.1}, ",
+            "\"offered_frames\": {}, \"delivered\": {}, ",
+            "\"early_drops\": {}, \"queue_drops\": {}, \"ring_drops\": {}, ",
+            "\"irqs\": {}, \"polls\": {}, ",
+            "\"victim_delivered\": {}, \"victim_p99\": {}}}"
+        ),
+        Config::TwinDrivers.label(),
+        p.profile.label(),
+        mode,
+        p.offered(),
+        p.nics,
+        p.burst,
+        p.rx_cycles_per_packet,
+        p.goodput_mbps,
+        p.frames_offered,
+        p.frames_delivered,
+        p.early_drops,
+        p.queue_drops,
+        p.ring_drops,
+        p.irqs,
+        p.polls,
+        p.victim_delivered,
+        p.victim_p99,
+    )
+}
+
+fn main() {
+    banner(
+        "Receive-livelock sweep — NAPI-style overload control vs per-arrival interrupts",
+        "repo extension (\u{a7}4.4 softirq discipline; Mogul & Ramakrishnan livelock); acceptance: controlled >= 70% knee goodput and victim p99 <= 3x unloaded at 10x, uncontrolled collapses",
+    );
+    let pkts = packets();
+    // Enough bursts that the one-gap window edges don't dominate.
+    let bursts = (pkts / BURST as u64).max(10);
+    let gap = knee_gap();
+    println!("  knee: burst {BURST} every {gap} cycles (4 NICs, flow-hash)\n");
+
+    let mut entries: Vec<String> = Vec::new();
+    // flood_one_guest acceptance points, per mode: offered_x10 → point.
+    let mut flood_pts: Vec<(bool, u32, f64, u64)> = Vec::new();
+    for profile in [
+        OverloadProfile::FloodOneGuest,
+        OverloadProfile::FlowChurn,
+        OverloadProfile::ElephantMice,
+    ] {
+        let multiples: &[u32] = if profile == OverloadProfile::FloodOneGuest {
+            &FULL_SWEEP
+        } else {
+            &SPOT_SWEEP
+        };
+        for &controlled in &[false, true] {
+            let mode = if controlled {
+                "controlled  "
+            } else {
+                "uncontrolled"
+            };
+            for &x10 in multiples {
+                let mut sys = build(controlled);
+                let p = measure_rx_livelock(&mut sys, profile, x10, BURST, bursts, gap)
+                    .expect("livelock point");
+                println!("    {mode} {}", p.row());
+                if profile == OverloadProfile::FloodOneGuest {
+                    flood_pts.push((controlled, x10, p.goodput_mbps, p.victim_p99));
+                }
+                entries.push(json_entry(mode.trim_end(), &p));
+            }
+            println!();
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"packets\": {},\n  \"policy\": \"flow-hash\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+        pkts,
+        entries.join(",\n"),
+    );
+    // Anchor at the workspace root regardless of cargo's bench cwd.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_livelock.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!(
+            "  wrote BENCH_livelock.json ({} sweep points)",
+            entries.len()
+        ),
+        Err(e) => eprintln!("  could not write {out}: {e}"),
+    }
+
+    let get = |controlled: bool, x10: u32| -> (f64, u64) {
+        flood_pts
+            .iter()
+            .find(|(c, x, _, _)| *c == controlled && *x == x10)
+            .map(|(_, _, g, p)| (*g, *p))
+            .expect("acceptance point measured")
+    };
+    let (ctl_knee, _) = get(true, 10);
+    let (ctl_10x, ctl_10x_p99) = get(true, 100);
+    let (_, ctl_unloaded_p99) = get(true, 5);
+    let (unc_knee, _) = get(false, 10);
+    let (unc_2x, _) = get(false, 20);
+    let (unc_4x, _) = get(false, 40);
+    let (unc_10x, _) = get(false, 100);
+
+    let ctl_frac = ctl_10x / ctl_knee.max(1e-9);
+    let p99_ratio = ctl_10x_p99 as f64 / ctl_unloaded_p99.max(1) as f64;
+    let unc_frac = unc_10x / unc_knee.max(1e-9);
+    println!("  controlled goodput at 10x: {ctl_10x:.0} Mb/s = {:.0}% of knee {ctl_knee:.0} (acceptance >= 70%)", ctl_frac * 100.0);
+    println!("  controlled victim p99 at 10x: {ctl_10x_p99} cyc = {p99_ratio:.2}x unloaded {ctl_unloaded_p99} (acceptance <= 3x)");
+    println!("  uncontrolled goodput past knee: {unc_knee:.0} -> {unc_2x:.0} -> {unc_4x:.0} -> {unc_10x:.0} Mb/s ({:.0}% of knee at 10x; acceptance: monotone fall, < 70%)", unc_frac * 100.0);
+
+    let mut failed = false;
+    if ctl_frac < 0.70 {
+        eprintln!(
+            "  ACCEPTANCE FAILED: controlled 10x goodput {:.0}% of knee < 70%",
+            ctl_frac * 100.0
+        );
+        failed = true;
+    }
+    if p99_ratio > 3.0 {
+        eprintln!("  ACCEPTANCE FAILED: controlled victim p99 {p99_ratio:.2}x unloaded > 3x");
+        failed = true;
+    }
+    if !(unc_2x < unc_knee && unc_4x < unc_2x && unc_10x <= unc_4x) {
+        eprintln!("  ACCEPTANCE FAILED: uncontrolled goodput not monotonically falling past the knee ({unc_knee:.0} -> {unc_2x:.0} -> {unc_4x:.0} -> {unc_10x:.0})");
+        failed = true;
+    }
+    if unc_frac >= 0.70 {
+        eprintln!(
+            "  ACCEPTANCE FAILED: uncontrolled did not collapse ({:.0}% of knee at 10x)",
+            unc_frac * 100.0
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -142,9 +142,10 @@ pub mod system;
 
 pub use iommu::Iommu;
 pub use measure::{
-    measure_aggregate_throughput, measure_rx_autotuned, percentile, throughput, upcall_latency,
-    AggregateThroughput, AutotunedRx, Breakdown, BurstMeasurement, LatencyStats, LoadProfile,
-    ModeratedRx, RxPhase, SampleReservoir, Throughput, CPU_HZ, TESTBED_NICS,
+    measure_aggregate_throughput, measure_rx_autotuned, measure_rx_livelock, percentile,
+    throughput, upcall_latency, AggregateThroughput, AutotunedRx, Breakdown, BurstMeasurement,
+    LatencyStats, LivelockPoint, LoadProfile, ModeratedRx, OverloadProfile, RxPhase,
+    SampleReservoir, Throughput, CPU_HZ, TESTBED_NICS, VICTIM_FRAMES_PER_BURST,
 };
 pub use system::{
     peer_mac, Config, ShardPolicy, System, SystemError, SystemOptions, UpcallMode, World, MAX_BURST,

@@ -5,8 +5,8 @@
 use crate::system::{System, SystemError};
 use std::collections::BTreeMap;
 use twin_machine::{CostDomain, CycleMeter};
-use twin_net::{wire_bits, MTU};
-use twin_xen::GrantStats;
+use twin_net::{wire_bits, EtherType, Frame, MacAddr, MTU};
+use twin_xen::{DomId, DomainKind, GrantStats};
 
 /// Modeled CPU frequency — the paper's 3.0 GHz Xeon.
 pub const CPU_HZ: f64 = 3.0e9;
@@ -284,6 +284,9 @@ pub struct AggregateThroughput {
     /// attribution) over the whole measurement including warm-up —
     /// empty for configurations without a hypervisor.
     pub grants: GrantStats,
+    /// Per-guest frames shed at the admission watermark over the
+    /// measurement (guest id → drops); empty with overload control off.
+    pub early_drops: BTreeMap<u32, u64>,
 }
 
 impl AggregateThroughput {
@@ -514,6 +517,281 @@ pub fn measure_rx_autotuned(
     })
 }
 
+/// An adversarial offered-load shape for the receive-livelock harness.
+/// Every profile keeps the victim guests' rate fixed and sub-capacity
+/// while the flood scales with the offered multiple — the fairness
+/// question is always "does the flood's overload leak into bystanders",
+/// and the profiles vary *how* the flood stresses the path.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum OverloadProfile {
+    /// The whole flood is one heavy flow aimed at one guest — the
+    /// classic receive-livelock shape (Mogul & Ramakrishnan).
+    FloodOneGuest,
+    /// The flood churns through a large flow-id space, defeating any
+    /// flow-keyed affinity state (the `rx_flow_dev` map, shard hashing)
+    /// while offering the same aggregate load.
+    FlowChurn,
+    /// One elephant flow carries most of the flood while a swarm of
+    /// short mice flows carries the rest — bimodal, like a busy server
+    /// behind a DoS.
+    ElephantMice,
+}
+
+impl OverloadProfile {
+    /// The JSON/label name.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverloadProfile::FloodOneGuest => "flood_one_guest",
+            OverloadProfile::FlowChurn => "flow_churn",
+            OverloadProfile::ElephantMice => "elephant_mice",
+        }
+    }
+}
+
+impl std::fmt::Display for OverloadProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fixed frames per victim guest per arrival burst — deliberately
+/// independent of the offered multiple: victims stay well-behaved while
+/// the flood scales past capacity.
+pub const VICTIM_FRAMES_PER_BURST: usize = 4;
+
+/// One point of the receive-livelock sweep: goodput, drop accounting
+/// and victim-guest tail latency at a fixed offered-load multiple of
+/// the calibrated knee.
+#[derive(Clone, Debug)]
+pub struct LivelockPoint {
+    /// NICs driven concurrently.
+    pub nics: u32,
+    /// Frames per arrival burst at the 1.0× knee.
+    pub burst: usize,
+    /// Offered-load shape.
+    pub profile: OverloadProfile,
+    /// Offered load as tenths of the knee rate (integer identity: 10 =
+    /// 1.0×, 100 = 10×).
+    pub offered_x10: u32,
+    /// Frames offered on the wire over the measured span.
+    pub frames_offered: u64,
+    /// Frames fully delivered into guests (the goodput numerator).
+    pub frames_delivered: u64,
+    /// Delivered throughput over the arrival span, in Mb/s.
+    pub goodput_mbps: f64,
+    /// Charged cycles per *delivered* packet — under livelock this
+    /// balloons as work is sunk into frames that die at a queue cap.
+    pub rx_cycles_per_packet: f64,
+    /// Frames shed at the admission watermark (before any ring work).
+    pub early_drops: u64,
+    /// Frames dropped at a demux queue cap (after the reap — waste).
+    pub queue_drops: u64,
+    /// Frames dropped by the NICs for want of a free descriptor.
+    pub ring_drops: u64,
+    /// Hardware interrupts dispatched over the span.
+    pub irqs: u64,
+    /// Budgeted NAPI poll passes over the span.
+    pub polls: u64,
+    /// Frames delivered to the victim (non-flooded) guests.
+    pub victim_delivered: u64,
+    /// Worst p99 arrival-to-delivery latency across victim guests.
+    pub victim_p99: u64,
+}
+
+impl LivelockPoint {
+    /// Offered load as a multiple of the knee (1.0 = knee).
+    pub fn offered(&self) -> f64 {
+        f64::from(self.offered_x10) / 10.0
+    }
+
+    /// One sweep-table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>15}  offered {:>5.1}x  goodput {:>7.0} Mb/s  cyc/pkt {:>8.0}  early {:>6}  queue {:>6}  ring {:>6}  irqs {:>6}  polls {:>5}  victim p99 {:>9}",
+            self.profile.label(),
+            self.offered(),
+            self.goodput_mbps,
+            self.rx_cycles_per_packet,
+            self.early_drops,
+            self.queue_drops,
+            self.ring_drops,
+            self.irqs,
+            self.polls,
+            self.victim_p99,
+        )
+    }
+}
+
+/// Builds one arrival burst for `profile` at `offered_x10` tenths of
+/// the knee: each victim guest gets its fixed trickle, the flood guest
+/// gets the rest, and `seq` advances once per frame (unique `(flow,
+/// seq)` keys for latency tracking).
+fn overload_burst(
+    profile: OverloadProfile,
+    offered_x10: u32,
+    burst_base: usize,
+    flood: (DomId, MacAddr),
+    victims: &[(DomId, MacAddr)],
+    seq: &mut u64,
+) -> Vec<Frame> {
+    let total = (burst_base * offered_x10 as usize / 10).max(1);
+    let victim_total = victims.len() * VICTIM_FRAMES_PER_BURST;
+    let flood_frames = total.saturating_sub(victim_total);
+    let mut out = Vec::with_capacity(victim_total + flood_frames);
+    let mut push = |dst: MacAddr, flow: u32, seq: &mut u64| {
+        out.push(Frame {
+            dst,
+            src: MacAddr([0x02, 0, 0, 0, 0, 0xee]),
+            ethertype: EtherType::Ipv4,
+            payload_len: MTU,
+            flow,
+            seq: *seq,
+        });
+        *seq += 1;
+    };
+    // Victims first in the burst: under overload the tail of a burst is
+    // likelier to find full rings, so this ordering is *generous* to
+    // the uncontrolled config — it still collapses.
+    for (gid, mac) in victims {
+        for _ in 0..VICTIM_FRAMES_PER_BURST {
+            push(*mac, 900 + gid.0, seq);
+        }
+    }
+    for i in 0..flood_frames {
+        let flow = match profile {
+            OverloadProfile::FloodOneGuest => 800,
+            OverloadProfile::FlowChurn => 1000 + (*seq % 1024) as u32,
+            OverloadProfile::ElephantMice => {
+                if i % 5 == 4 {
+                    1000 + (*seq % 64) as u32 // every 5th frame: a mouse
+                } else {
+                    800 // the elephant
+                }
+            }
+        };
+        push(flood.1, flow, seq);
+    }
+    out
+}
+
+/// Runs one **open-loop** receive-livelock point: `bursts` arrival
+/// bursts land at a fixed `gap_cycles` schedule (calibrated so 1.0×
+/// saturates the consumer — the knee), each one
+/// `offered_x10`/10 × the knee's `burst_base` frames shaped by
+/// `profile`. Arrivals charge only what hardware forces at that instant
+/// (ISR reap, or nothing for a masked poll-mode NIC); the consumer —
+/// budgeted NAPI polls or standalone DRR flush rounds — runs only in
+/// the gaps, exactly the regime where per-arrival interrupt work
+/// starves delivery and goodput collapses (Mogul & Ramakrishnan; paper
+/// §4.4's softirq discipline is the exposure).
+///
+/// The flood aims at the primary guest; every other guest is a
+/// fixed-rate victim whose tail latency the overload controls must
+/// bound. The span includes the post-schedule drain, so a backlogged
+/// system cannot launder its backlog into goodput.
+///
+/// # Errors
+///
+/// Propagates faults; arrival overruns are data, not errors.
+pub fn measure_rx_livelock(
+    sys: &mut System,
+    profile: OverloadProfile,
+    offered_x10: u32,
+    burst_base: usize,
+    bursts: u64,
+    gap_cycles: u64,
+) -> Result<LivelockPoint, SystemError> {
+    let flood_gid = sys.guest.expect("livelock harness needs a guest");
+    let (flood, victims) = {
+        let xen = sys.world.xen.as_ref().expect("livelock harness needs xen");
+        let mut flood = None;
+        let mut victims = Vec::new();
+        for d in &xen.domains {
+            if d.kind != DomainKind::Guest {
+                continue;
+            }
+            if d.id == flood_gid {
+                flood = Some((d.id, d.mac));
+            } else {
+                victims.push((d.id, d.mac));
+            }
+        }
+        (flood.expect("primary guest present"), victims)
+    };
+    sys.track_guest_latency();
+    // Closed-loop warm-up: fill every ring's buffer-swap cycle.
+    for _ in 0..160 * sys.nic_count() {
+        sys.receive_one()?;
+    }
+    sys.drain_moderated()?;
+    let delivered_before: u64 = std::iter::once(flood.0)
+        .chain(victims.iter().map(|v| v.0))
+        .map(|g| sys.delivered_rx_for(g) as u64)
+        .sum();
+    let victim_delivered_before: u64 = victims
+        .iter()
+        .map(|v| sys.delivered_rx_for(v.0) as u64)
+        .sum();
+    let early_before = sys.rx_early_drops();
+    let queue_before = sys.rx_queue_drops();
+    let ring_before = sys.rx_ring_drops();
+    sys.reset_measurement();
+    let mut seq = 1_000_000u64; // clear of every closed-loop generator
+    let t0 = sys.now_cycles();
+    let mut offered = 0u64;
+    for i in 0..bursts {
+        let arrival = t0 + i * gap_cycles;
+        // The consumer gets exactly the gap before this arrival.
+        sys.rx_open_loop_service(arrival)?;
+        let frames = overload_burst(profile, offered_x10, burst_base, flood, &victims, &mut seq);
+        offered += frames.len() as u64;
+        sys.rx_open_loop_arrival(&frames, arrival)?;
+    }
+    // The last burst gets exactly one gap of service, then the window
+    // closes. Backlog still queued (or stranded in a masked ring) at
+    // window close is NOT goodput — an open-loop source never stops, so
+    // frames the consumer couldn't deliver inside the schedule are lost
+    // throughput, not work in flight. Counting a tail drain would let a
+    // livelocked system launder its backlog into goodput.
+    let end_sched = t0 + bursts * gap_cycles;
+    sys.rx_open_loop_service(end_sched)?;
+    let delivered: u64 = std::iter::once(flood.0)
+        .chain(victims.iter().map(|v| v.0))
+        .map(|g| sys.delivered_rx_for(g) as u64)
+        .sum::<u64>()
+        - delivered_before;
+    let victim_delivered: u64 = victims
+        .iter()
+        .map(|v| sys.delivered_rx_for(v.0) as u64)
+        .sum::<u64>()
+        - victim_delivered_before;
+    let span = bursts * gap_cycles;
+    let goodput_mbps = delivered as f64 * wire_bits(MTU) as f64 / (span as f64 / CPU_HZ) / 1e6;
+    let breakdown = Breakdown::from_meter(&sys.machine.meter, delivered.max(1));
+    let victim_p99 = victims
+        .iter()
+        .map(|v| LatencyStats::from_samples(sys.guest_rx_latency(v.0)).p99)
+        .max()
+        .unwrap_or(0);
+    Ok(LivelockPoint {
+        nics: sys.nic_count() as u32,
+        burst: burst_base,
+        profile,
+        offered_x10,
+        frames_offered: offered,
+        frames_delivered: delivered,
+        goodput_mbps,
+        rx_cycles_per_packet: breakdown.total(),
+        early_drops: sys.rx_early_drops() - early_before,
+        queue_drops: sys.rx_queue_drops() - queue_before,
+        ring_drops: sys.rx_ring_drops() - ring_before,
+        irqs: breakdown.events.get("irq").copied().unwrap_or(0),
+        polls: breakdown.events.get("napi_poll").copied().unwrap_or(0),
+        victim_delivered,
+        victim_p99,
+    })
+}
+
 /// Measures aggregate RX+TX throughput of a (possibly multi-NIC) system
 /// at a fixed burst size: `packets` packets move in each direction in
 /// bursts of `burst`, sharded across the NICs by the system's policy;
@@ -562,6 +840,7 @@ pub fn measure_aggregate_throughput(
         .as_ref()
         .map(|x| x.grants.clone())
         .unwrap_or_default();
+    let early_before = sys.rx_early_drops_per_guest();
     let before = snapshot(sys);
     let tx = sys.measure_tx_burst(burst, packets)?;
     let (tx_links, _) = active(&before, sys);
@@ -575,6 +854,13 @@ pub fn measure_aggregate_throughput(
         .map(|x| x.grants.delta_since(&grants_before))
         .unwrap_or_default();
 
+    let early_drops: BTreeMap<u32, u64> = sys
+        .rx_early_drops_per_guest()
+        .into_iter()
+        .map(|(g, n)| (g, n - early_before.get(&g).copied().unwrap_or(0)))
+        .filter(|(_, n)| *n > 0)
+        .collect();
+
     let tx_cpp = tx.breakdown.total();
     let rx_cpp = rx.breakdown.total();
     Ok(AggregateThroughput {
@@ -585,6 +871,7 @@ pub fn measure_aggregate_throughput(
         tx: throughput(tx_cpp, tx_links.max(1)),
         rx: throughput(rx_cpp, rx_links.max(1)),
         grants,
+        early_drops,
     })
 }
 

@@ -31,8 +31,8 @@ use twin_nic::{ItrTuner, Nic, AUTOTUNE_WINDOW_CYCLES, MMIO_WINDOW};
 use twin_rewriter::{rewrite, RewriteOptions, RewriteStats};
 use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
 use twin_xen::{
-    load_hypervisor_driver, GrantAccess, GrantCache, HyperSupport, HypervisorDriver, Softirq, Xen,
-    HYP_CODE_BASE, UPCALL_RING_SLOTS, UPCALL_STACK_BASE, UPCALL_STACK_PAGES,
+    load_hypervisor_driver, DomainKind, GrantAccess, GrantCache, HyperSupport, HypervisorDriver,
+    Softirq, Xen, HYP_CODE_BASE, UPCALL_RING_SLOTS, UPCALL_STACK_BASE, UPCALL_STACK_PAGES,
 };
 pub use twin_xen::{DomId, UpcallMode};
 
@@ -226,6 +226,38 @@ pub struct SystemOptions {
     /// pass overflows its slice of the pool and the excess falls back
     /// to copies (clamped to 1..=[`MAX_BURST`]).
     pub zero_copy_pool_frames: usize,
+    /// NAPI-style interrupt→poll mode switching (TwinDrivers only): the
+    /// poll weight — the real `e1000_clean` budget — in frames per poll
+    /// pass. When non-zero, an RX interrupt acks the cause, masks the
+    /// device via `IMC` and hands the ring to a budgeted softirq poll
+    /// loop; interrupts re-arm via `IMS` only when a pass drains below
+    /// this weight. Under sustained overload the device takes **one**
+    /// interrupt instead of one per burst — the canonical
+    /// receive-livelock defence. 0 (the default) keeps the pure
+    /// interrupt path, bit-exact with every prior baseline. Poll mode
+    /// takes precedence over the `ITR` moderation latch: a masked
+    /// device never joins the moderated-pending set.
+    pub napi_weight: usize,
+    /// Per-guest weights for the receive-demux flush's deficit-round-
+    /// robin accounting, as `(domain id, weight)` pairs: each round a
+    /// guest's deficit grows by `rx_flush_quantum × weight` frames and
+    /// it is served up to its deficit. Guests not listed (and every
+    /// guest when the list is empty — the default) get weight 1, which
+    /// is exactly the PR 2 quantum behaviour, bit-exact.
+    pub guest_weights: Vec<(u32, u32)>,
+    /// Early-drop admission watermark (frames): when a guest's demux
+    /// backlog reaches this bound, further frames toward it are dropped
+    /// at RX-descriptor refill time — *before* the ring, the reap and
+    /// the demux spend anything on them — for a compare and a counter
+    /// bump ([`twin_machine::CostParams::early_drop`]). `None` (the
+    /// default) admits everything, bit-exact with the prior path.
+    pub rx_backlog_watermark: Option<usize>,
+    /// Bound on each guest's demux queue ([`twin_xen::Domain`]
+    /// `rx_queue`): past it the demux drops frames *after* the reap
+    /// work is spent — the receive-livelock drop point the open-loop
+    /// harness measures. `None` (the default) keeps the queue
+    /// unbounded, bit-exact with the prior path.
+    pub rx_queue_cap: Option<usize>,
 }
 
 impl Default for SystemOptions {
@@ -247,6 +279,10 @@ impl Default for SystemOptions {
             itr_autotune: false,
             zero_copy: false,
             zero_copy_pool_frames: 64,
+            napi_weight: 0,
+            guest_weights: Vec::new(),
+            rx_backlog_watermark: None,
+            rx_queue_cap: None,
         }
     }
 }
@@ -467,6 +503,32 @@ pub struct System {
     /// side shards, read where grant work loses the device) — pure
     /// bookkeeping behind the per-device grant attribution.
     rx_flow_dev: BTreeMap<u32, u32>,
+    /// NAPI poll weight ([`SystemOptions::napi_weight`]; 0 = off).
+    napi_weight: usize,
+    /// Per-device poll-mode flag: `true` while the device's RX
+    /// interrupt is masked and the budgeted poll loop owns its ring.
+    /// Empty when NAPI is off — the interrupt path allocates nothing.
+    poll_mode: Vec<bool>,
+    /// DRR weights per guest domain id (absent = weight 1).
+    guest_weights: BTreeMap<u32, u32>,
+    /// Deficit-round-robin counters (frames) per guest domain id,
+    /// carried across flush rounds; reset when a guest's queue drains.
+    drr_deficit: BTreeMap<u32, u64>,
+    /// Early-drop admission watermark
+    /// ([`SystemOptions::rx_backlog_watermark`]).
+    rx_watermark: Option<usize>,
+    /// Frames dropped at the admission watermark, per guest domain id.
+    rx_early_drops: BTreeMap<u32, u64>,
+    /// Demux queue cap applied to every guest
+    /// ([`SystemOptions::rx_queue_cap`]), kept so guests added later
+    /// inherit it.
+    rx_queue_cap: Option<usize>,
+    /// Per-guest latency reservoirs (keyed by domain id), populated
+    /// alongside the aggregate reservoir when enabled via
+    /// [`System::track_guest_latency`] — the well-behaved-guest p99 the
+    /// livelock acceptance is about. Off (and allocation-free) by
+    /// default.
+    guest_latency: Option<BTreeMap<u32, crate::measure::SampleReservoir>>,
     dom0: SpaceId,
     dom0_stack_top: u64,
     guest_tx_frag: u64,
@@ -674,6 +736,18 @@ impl System {
             grant_cache: None,
             zc_granted: std::collections::BTreeSet::new(),
             rx_flow_dev: BTreeMap::new(),
+            napi_weight: opts.napi_weight,
+            poll_mode: if opts.napi_weight > 0 {
+                vec![false; num_nics]
+            } else {
+                Vec::new()
+            },
+            guest_weights: opts.guest_weights.iter().copied().collect(),
+            drr_deficit: BTreeMap::new(),
+            rx_watermark: opts.rx_backlog_watermark,
+            rx_early_drops: BTreeMap::new(),
+            rx_queue_cap: opts.rx_queue_cap,
+            guest_latency: None,
             dom0,
             dom0_stack_top,
             guest_tx_frag: 0,
@@ -726,6 +800,14 @@ impl System {
             sys.gate_anchors = vec![None; num_nics];
         }
 
+        // NAPI poll mode drives the hypervisor driver from softirq
+        // context; only the TwinDrivers configuration has one.
+        if opts.napi_weight > 0 && config != Config::TwinDrivers {
+            return Err(SystemError::Build(
+                "napi_weight requires the TwinDrivers configuration".into(),
+            ));
+        }
+
         // Guest domain for the guest configurations.
         if matches!(config, Config::XenGuest | Config::TwinDrivers) {
             let gspace = sys.machine.new_space();
@@ -735,6 +817,9 @@ impl System {
                 .as_mut()
                 .expect("xen present")
                 .add_guest(gspace, MacAddr::for_guest(1));
+            if sys.rx_queue_cap.is_some() {
+                sys.world.xen.as_mut().unwrap().domain_mut(gid).rx_queue_cap = sys.rx_queue_cap;
+            }
             sys.guest = Some(gid);
             // The measured workload runs in the guest, so that is who is
             // on the CPU between packets.
@@ -1027,7 +1112,20 @@ impl System {
                     self.world.nics[dev as usize].note_irq_delivered(now);
                     self.end_gated_wait(dev, now);
                 }
-                self.rx_pass(&ready)?;
+                if self.napi_weight > 0 {
+                    // A moderated delivery on a NAPI system is still an
+                    // ack-and-mask: enter poll mode and drain budgeted.
+                    for &dev in &ready {
+                        self.napi_enter(dev)?;
+                    }
+                    while self.napi_work_pending() {
+                        if self.napi_poll_pass()? == 0 {
+                            break;
+                        }
+                    }
+                } else {
+                    self.rx_pass(&ready)?;
+                }
                 self.flush_deferred_upcalls()?;
                 self.sample_rx_completions();
             }
@@ -1125,7 +1223,11 @@ impl System {
     /// bounded by the RX rings, so anything beyond one ring's worth per
     /// device is dead — evict oldest-first.
     fn prune_rx_inflight(&mut self) {
-        let cap = 128 * self.world.nics.len();
+        // With a demux queue cap the backlog legitimately extends past
+        // the rings: capped queues hold live frames too.
+        let cap = 128 * self.world.nics.len()
+            + self.rx_queue_cap.unwrap_or(0)
+                * self.world.xen.as_ref().map_or(0, |x| x.domains.len());
         while self.rx_inflight.len() > cap {
             let oldest = self
                 .rx_inflight
@@ -1178,7 +1280,18 @@ impl System {
                         .collect();
                     for k in &new {
                         if let Some(t) = self.rx_inflight.remove(k) {
-                            self.rx_latency.push(now.saturating_sub(t));
+                            let sample = now.saturating_sub(t);
+                            self.rx_latency.push(sample);
+                            if let Some(per_guest) = self.guest_latency.as_mut() {
+                                per_guest
+                                    .entry(key)
+                                    .or_insert_with(|| {
+                                        crate::measure::SampleReservoir::new(
+                                            crate::measure::RX_LATENCY_RESERVOIR,
+                                        )
+                                    })
+                                    .push(sample);
+                            }
                         }
                     }
                     self.rx_sample_cursors.insert(key, cur + new.len());
@@ -1207,12 +1320,38 @@ impl System {
     /// Resets the cycle meter and both latency windows together (the
     /// start of every measurement interval). The virtual clock keeps
     /// running — it is monotonic by design.
-    fn reset_measurement(&mut self) {
+    pub(crate) fn reset_measurement(&mut self) {
         self.machine.meter.reset();
         if let Some(h) = self.world.hyper.as_mut() {
             h.engine.clear_latency();
         }
         self.rx_latency.clear();
+        if let Some(per_guest) = self.guest_latency.as_mut() {
+            for r in per_guest.values_mut() {
+                r.clear();
+            }
+        }
+    }
+
+    /// Enables per-guest arrival-to-delivery latency reservoirs
+    /// (TwinDrivers/XenGuest paths): after this, each delivered frame's
+    /// latency is also recorded against its destination domain — the
+    /// fairness side of the overload sweeps, where a victim guest's p99
+    /// must stay bounded while a neighbour floods.
+    pub fn track_guest_latency(&mut self) {
+        if self.guest_latency.is_none() {
+            self.guest_latency = Some(BTreeMap::new());
+        }
+    }
+
+    /// Latency samples recorded for one domain (empty unless
+    /// [`System::track_guest_latency`] was enabled).
+    pub fn guest_rx_latency(&self, gid: DomId) -> &[u64] {
+        self.guest_latency
+            .as_ref()
+            .and_then(|m| m.get(&gid.0))
+            .map(|r| r.samples())
+            .unwrap_or(&[])
     }
 
     /// Flows the internal traffic generators cycle over: the paper's
@@ -1817,7 +1956,13 @@ impl System {
                 .is_some_and(|h| h.engine.flush_deadline().is_some());
         // The "wire side" of sharding: the switch sprays frames across
         // the NICs per policy (all to NIC 0 in the degenerate case).
-        let mut groups = self.shard_frames(frames.to_vec());
+        let mut incoming = frames.to_vec();
+        self.admit_rx_frames(&mut incoming);
+        if incoming.is_empty() {
+            return Ok(0); // whole burst early-dropped at the watermark
+        }
+        let napi = self.napi_weight > 0;
+        let mut groups = self.shard_frames(incoming);
         let mut done = 0;
         loop {
             // One hardware pass: every NIC with pending frames fills as
@@ -1853,7 +1998,12 @@ impl System {
                     pending.drain(..accepted);
                     done += accepted;
                     let now = self.machine.meter.now();
-                    if self.world.nics[*dev as usize].irq_allowed_at(now) {
+                    if napi && self.poll_mode[*dev as usize] {
+                        // Masked: the ring filled silently — free at
+                        // arrival time. The budgeted poll pass below
+                        // services it; poll mode takes precedence over
+                        // the moderation latch.
+                    } else if self.world.nics[*dev as usize].irq_allowed_at(now) {
                         self.moderated_pending.retain(|d| d != dev);
                         pass_devs.push(*dev);
                     } else {
@@ -1889,6 +2039,42 @@ impl System {
                 }
                 pass_devs = gated_wedged;
             }
+            if napi {
+                // The interrupt is an ack-and-mask: devices that would
+                // have taken a full reap pass enter poll mode instead,
+                // and one budgeted poll pass services every masked
+                // device — just interrupted and long-masked alike.
+                if !pass_devs.is_empty() {
+                    let now = self.machine.meter.now();
+                    for &dev in &pass_devs {
+                        self.world.nics[dev as usize].note_irq_delivered(now);
+                        self.end_gated_wait(dev, now);
+                        self.napi_enter(dev)?;
+                    }
+                }
+                let polled = self.napi_poll_pass()?;
+                if polled > 0 {
+                    self.flush_deferred_upcalls()?;
+                    self.sample_rx_completions();
+                    self.service_itr_tuners()?;
+                }
+                if groups.iter().all(|(_, pending)| pending.is_empty()) {
+                    if self.napi_work_pending() {
+                        // Rings may still hold reaped-under-weight work;
+                        // keep polling until every device completes and
+                        // re-arms.
+                        continue;
+                    }
+                    break;
+                }
+                if pass_devs.is_empty() && polled == 0 {
+                    if done == 0 {
+                        return Err(SystemError::RxRingFull);
+                    }
+                    break; // every remaining ring is wedged
+                }
+                continue;
+            }
             if pass_devs.is_empty() {
                 if groups.iter().all(|(_, pending)| pending.is_empty()) {
                     break; // all delivered; latched causes fire later
@@ -1919,6 +2105,138 @@ impl System {
         }
         self.prune_rx_inflight();
         Ok(done)
+    }
+
+    /// **Open-loop** arrival: one wire burst lands at scheduled time
+    /// `arrival` and the receive path does only what real hardware
+    /// forces at that instant — rings fill, and per-arrival interrupt
+    /// work (or nothing, for a masked poll-mode device) runs. Frames
+    /// that find no free descriptor are dropped silently at the wire
+    /// (the NIC's `rx_missed` counter), *not* retried: unlike
+    /// [`System::receive_burst`], the arrival schedule does not wait for
+    /// the consumer. The consumer side runs separately through
+    /// [`System::rx_open_loop_service`] — together they reproduce
+    /// receive livelock: per-arrival ISR work preempts the consumer,
+    /// and past saturation the CPU reaps frames it can never deliver.
+    /// Returns the frames accepted into rings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults; never returns `RxRingFull` (an overrun is the
+    /// phenomenon under measurement, not an error).
+    pub fn rx_open_loop_arrival(
+        &mut self,
+        frames: &[Frame],
+        arrival: u64,
+    ) -> Result<usize, SystemError> {
+        self.service_virtual_timers(false)?;
+        let mut incoming = frames.to_vec();
+        self.admit_rx_frames(&mut incoming);
+        if incoming.is_empty() {
+            return Ok(0);
+        }
+        let napi = self.napi_weight > 0;
+        let groups = self.shard_frames(incoming);
+        let mut accepted_total = 0usize;
+        for (dev, pending) in groups {
+            if pending.is_empty() {
+                continue;
+            }
+            let accepted =
+                self.world.nics[dev as usize].deliver_batch(&mut self.machine.phys, &pending);
+            if accepted == 0 {
+                continue; // ring overrun: dropped free, before any work
+            }
+            accepted_total += accepted;
+            for f in &pending[..accepted] {
+                self.rx_inflight.insert((f.flow, f.seq), arrival);
+            }
+            if self.rx_flow_dev.len() > 8192 {
+                self.rx_flow_dev.clear();
+            }
+            for f in &pending[..accepted] {
+                self.rx_flow_dev.insert(f.flow, dev);
+            }
+            let now = self.machine.meter.now();
+            if napi && self.poll_mode[dev as usize] {
+                // Masked: zero per-arrival cost — the point of NAPI.
+            } else if self.world.nics[dev as usize].irq_allowed_at(now) {
+                self.moderated_pending.retain(|d| *d != dev);
+                self.world.nics[dev as usize].note_irq_delivered(now);
+                self.end_gated_wait(dev, now);
+                if napi {
+                    self.napi_enter(dev)?;
+                } else {
+                    // Per-arrival ISR: reap every filled descriptor now
+                    // (into the demux queues for TwinDrivers); the
+                    // consumer flush happens whenever the CPU next gets
+                    // a gap. This is the livelock-prone discipline.
+                    self.rx_isr_reap(dev)?;
+                }
+            } else if !self.moderated_pending.contains(&dev) {
+                self.moderated_pending.push(dev);
+                self.machine.meter.count_event("irq_moderated");
+            }
+        }
+        self.flush_deferred_upcalls()?;
+        self.sample_rx_completions();
+        self.prune_rx_inflight();
+        Ok(accepted_total)
+    }
+
+    /// The open-loop consumer: runs poll passes (NAPI) or standalone
+    /// flush rounds (interrupt mode) until virtual time reaches `until`
+    /// or all work drains — whichever is first. Idle gaps advance the
+    /// virtual clock through [`System::run_idle`], so moderation timers
+    /// and deadline flushes fire on schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults from serviced work and timers.
+    pub fn rx_open_loop_service(&mut self, until: u64) -> Result<(), SystemError> {
+        loop {
+            self.service_virtual_timers(false)?;
+            let now = self.machine.meter.now();
+            if now >= until {
+                return Ok(());
+            }
+            if self.napi_weight > 0 && self.napi_work_pending() {
+                let polled = self.napi_poll_pass()?;
+                self.sample_rx_completions();
+                // A zero-reap pass re-armed every idle device; loop to
+                // reclassify.
+                let _ = polled;
+                continue;
+            }
+            if self.rx_open_loop_pending() {
+                self.flush_rx_round()?;
+                self.sample_rx_completions();
+                continue;
+            }
+            let now = self.machine.meter.now();
+            if now < until {
+                self.run_idle(until - now)?;
+            }
+            return Ok(());
+        }
+    }
+
+    /// Whether the open-loop consumer still owes work: a non-empty
+    /// per-guest demux queue, or ring descriptors waiting under a
+    /// masked poll-mode device.
+    pub fn rx_open_loop_pending(&self) -> bool {
+        if self
+            .world
+            .xen
+            .as_ref()
+            .is_some_and(|x| x.domains.iter().any(|d| !d.rx_queue.is_empty()))
+        {
+            return true;
+        }
+        self.poll_mode
+            .iter()
+            .zip(&self.world.nics)
+            .any(|(&polling, nic)| polling && nic.rx_pending() > 0)
     }
 
     /// Runs the configuration's receive software path for one hardware
@@ -2008,6 +2326,261 @@ impl System {
         Ok(reaped)
     }
 
+    /// Whether a device is currently in NAPI poll mode (its RX interrupt
+    /// masked, serviced by the budgeted poll loop). Always `false` when
+    /// [`SystemOptions::napi_weight`] is 0.
+    pub fn in_poll_mode(&self, dev: u32) -> bool {
+        self.poll_mode.get(dev as usize).copied().unwrap_or(false)
+    }
+
+    /// Sets (or changes) a guest's DRR flush weight at runtime. Weight 1
+    /// is the neutral default; 0 is clamped to 1.
+    pub fn set_guest_weight(&mut self, gid: DomId, weight: u32) {
+        self.guest_weights.insert(gid.0, weight.max(1));
+    }
+
+    /// Frames early-dropped at the admission watermark for one guest.
+    pub fn rx_early_drops_for(&self, gid: DomId) -> u64 {
+        self.rx_early_drops.get(&gid.0).copied().unwrap_or(0)
+    }
+
+    /// Total frames early-dropped at the admission watermark.
+    pub fn rx_early_drops(&self) -> u64 {
+        self.rx_early_drops.values().sum()
+    }
+
+    /// Per-guest early-drop counters (guest id → frames dropped).
+    pub fn rx_early_drops_per_guest(&self) -> BTreeMap<u32, u64> {
+        self.rx_early_drops.clone()
+    }
+
+    /// Frames dropped at one guest's demux queue cap (work already sunk
+    /// — the livelock waste the early drop exists to avoid).
+    pub fn rx_queue_drops_for(&self, gid: DomId) -> u64 {
+        self.world
+            .xen
+            .as_ref()
+            .map_or(0, |x| x.domain(gid).rx_queue_drops)
+    }
+
+    /// Total frames dropped at demux queue caps across all guests.
+    pub fn rx_queue_drops(&self) -> u64 {
+        self.world
+            .xen
+            .as_ref()
+            .map_or(0, |x| x.domains.iter().map(|d| d.rx_queue_drops).sum())
+    }
+
+    /// Frames dropped by NICs for want of a free RX descriptor.
+    pub fn rx_ring_drops(&self) -> u64 {
+        self.world.nics.iter().map(|n| n.stats().rx_missed).sum()
+    }
+
+    /// Frames fully delivered to one domain.
+    pub fn delivered_rx_for(&self, gid: DomId) -> usize {
+        self.world
+            .xen
+            .as_ref()
+            .map_or(0, |x| x.domain(gid).rx_delivered.len())
+    }
+
+    /// NAPI mode entry for one device: the ISR acknowledges the cause
+    /// (`ICR` read-to-clear), masks the RX interrupt (`IMC`) and
+    /// schedules the poll softirq — no descriptor is reaped here; the
+    /// budgeted poll pass does that. Poll mode takes precedence over the
+    /// ITR moderation latch: a device entering poll mode leaves
+    /// `moderated_pending`, since its cause is consumed right here.
+    fn napi_enter(&mut self, dev: u32) -> Result<(), SystemError> {
+        if self.poll_mode[dev as usize] {
+            return Ok(());
+        }
+        {
+            let m = &mut self.machine;
+            m.meter.count_event("irq");
+            m.meter.charge_to(CostDomain::Xen, m.cost.irq_dispatch);
+        }
+        // Ack: read-to-clear consumes the latched cause.
+        let _ = self.world.nics[dev as usize].mmio_read(twin_nic::regs::ICR);
+        Env::mmio_write(
+            &mut self.world,
+            &mut self.machine,
+            dev,
+            twin_nic::regs::IMC,
+            twin_isa::Width::Long,
+            twin_nic::intr::RXT0,
+        )?;
+        {
+            let m = &mut self.machine;
+            m.meter.charge_to(CostDomain::Xen, m.cost.napi_switch);
+            m.meter.count_event("napi_enter");
+        }
+        self.poll_mode[dev as usize] = true;
+        self.moderated_pending.retain(|d| *d != dev);
+        Ok(())
+    }
+
+    /// NAPI completion for one device: re-enable the RX interrupt
+    /// (`IMS`) after a poll pass that drained the ring below its weight.
+    /// The `ICR` read-to-clear first discards any cause latched by
+    /// frames the pass already reaped, so re-arming cannot fire a
+    /// spurious interrupt over an empty ring.
+    fn napi_rearm(&mut self, dev: u32) -> Result<(), SystemError> {
+        let _ = self.world.nics[dev as usize].mmio_read(twin_nic::regs::ICR);
+        Env::mmio_write(
+            &mut self.world,
+            &mut self.machine,
+            dev,
+            twin_nic::regs::IMS,
+            twin_isa::Width::Long,
+            twin_nic::intr::RXT0,
+        )?;
+        {
+            let m = &mut self.machine;
+            m.meter.charge_to(CostDomain::Xen, m.cost.napi_switch);
+            m.meter.count_event("napi_exit");
+        }
+        self.poll_mode[dev as usize] = false;
+        Ok(())
+    }
+
+    /// The reap half of one budgeted poll: dispatch the poll softirq and
+    /// reap up to [`SystemOptions::napi_weight`] descriptors through
+    /// `e1000_clean_rx_budget` into the per-guest queues. No flush, no
+    /// re-arm — [`System::napi_poll_pass`] sequences those across all
+    /// polled devices. Returns frames reaped.
+    fn napi_poll_dev_reap(&mut self, dev: u32) -> Result<usize, SystemError> {
+        let weight = self.napi_weight as u32;
+        {
+            let xen = self.world.xen.as_mut().expect("napi implies xen");
+            xen.raise_softirq(Softirq::NapiPoll { nic: dev });
+            // Drain the pending set so the poll is accounted as softirq
+            // work; UpcallFlush kicks ride along as usual.
+            let work = xen.take_runnable_softirqs();
+            for w in work {
+                if let Softirq::UpcallFlush = w {
+                    self.flush_deferred_upcalls()?;
+                }
+            }
+        }
+        {
+            let m = &mut self.machine;
+            m.meter
+                .charge_to(CostDomain::Xen, m.cost.napi_poll_dispatch);
+            m.meter.count_event("napi_poll");
+        }
+        self.world.kernel.begin_stack_burst();
+        let multi = self.multi_nic();
+        let hyp = self.hyperdrv.as_ref().expect("napi implies twindrivers");
+        let (entry, args) = if multi {
+            (
+                hyp.entry("e1000_poll_rx_budget_dev").unwrap(),
+                vec![self.netdev_of(dev) as u32, weight, dev],
+            )
+        } else {
+            (
+                hyp.entry("e1000_poll_rx_budget").unwrap(),
+                vec![self.netdev as u32, weight],
+            )
+        };
+        self.machine.meter.push_domain(CostDomain::Driver);
+        let r = self.call_hyperdrv(entry, &args, 20_000_000);
+        self.machine.meter.pop_domain();
+        Ok(r? as usize)
+    }
+
+    /// One poll pass over every device currently in poll mode: reap each
+    /// device's budget first, then one demux flush over the union (so no
+    /// guest's ring wait includes another guest's flush), then re-arm
+    /// every device whose reap came in under weight (the ring is
+    /// drained — classic `napi_complete`). Returns total frames reaped.
+    fn napi_poll_pass(&mut self) -> Result<usize, SystemError> {
+        let weight = self.napi_weight;
+        let mut polled: Vec<(u32, usize)> = Vec::new();
+        for dev in 0..self.world.nics.len() as u32 {
+            if self.poll_mode[dev as usize] {
+                let reaped = self.napi_poll_dev_reap(dev)?;
+                polled.push((dev, reaped));
+            }
+        }
+        if polled.is_empty() {
+            return Ok(0);
+        }
+        self.flush_deferred_upcalls()?;
+        self.flush_guest_rx_queues()?;
+        for &(dev, reaped) in &polled {
+            if reaped < weight {
+                self.napi_rearm(dev)?;
+            }
+        }
+        Ok(polled.iter().map(|(_, r)| r).sum())
+    }
+
+    /// Whether any device still owes poll work (is in poll mode).
+    fn napi_work_pending(&self) -> bool {
+        self.poll_mode.iter().any(|&p| p)
+    }
+
+    /// The configuration's per-arrival ISR reap — interrupt dispatch and
+    /// descriptor reap without the consumer-side flush (TwinDrivers
+    /// demux-queues frames; the dom0-style paths deliver inline, as
+    /// their stack runs in interrupt context anyway).
+    fn rx_isr_reap(&mut self, dev: u32) -> Result<(), SystemError> {
+        match self.config {
+            Config::NativeLinux => self.rx_dom0_style(false, dev),
+            Config::XenDom0 => self.rx_dom0_style(true, dev),
+            Config::XenGuest => self.rx_baseline_guest(&[dev]),
+            Config::TwinDrivers => self.rx_twin_reap(&[dev]),
+        }
+    }
+
+    /// Early drop at RX-descriptor refill time: frames whose destination
+    /// guest's backlog has reached
+    /// [`SystemOptions::rx_backlog_watermark`] are dropped *before*
+    /// being posted to a ring, for the cost of a compare and a counter
+    /// bump — the Mogul/Ramakrishnan discipline of shedding load at the
+    /// cheapest point instead of after the reap work is sunk. A no-op
+    /// when the watermark is unset. Admitted frames count toward the
+    /// backlog snapshot, so one oversized burst cannot overshoot the
+    /// watermark.
+    fn admit_rx_frames(&mut self, frames: &mut Vec<Frame>) {
+        let Some(wm) = self.rx_watermark else {
+            return;
+        };
+        let Some(xen) = self.world.xen.as_ref() else {
+            return;
+        };
+        let mut guests: Vec<(MacAddr, u32, usize)> = xen
+            .domains
+            .iter()
+            .filter(|d| d.kind == DomainKind::Guest)
+            .map(|d| (d.mac, d.id.0, d.rx_queue.len()))
+            .collect();
+        let mut dropped: Vec<(u32, u64)> = Vec::new();
+        frames.retain(|f| {
+            let Some(slot) = guests.iter_mut().find(|(mac, _, _)| *mac == f.dst) else {
+                return true; // not guest-bound: the demux-miss path counts it
+            };
+            if slot.2 >= wm {
+                match dropped.iter_mut().find(|(g, _)| *g == slot.1) {
+                    Some(d) => d.1 += 1,
+                    None => dropped.push((slot.1, 1)),
+                }
+                false
+            } else {
+                slot.2 += 1;
+                true
+            }
+        });
+        for (gid, n) in dropped {
+            *self.rx_early_drops.entry(gid).or_insert(0) += n;
+            let m = &mut self.machine;
+            for _ in 0..n {
+                m.meter.charge_to(CostDomain::Xen, m.cost.early_drop);
+                m.meter.count_event("early_drop");
+            }
+        }
+    }
+
     /// Adds another guest domain (TwinDrivers configuration) with its own
     /// MAC, so the hypervisor's receive demultiplexing has more than one
     /// destination. Returns the new domain's id.
@@ -2023,6 +2596,9 @@ impl System {
             .as_mut()
             .ok_or_else(|| SystemError::Build("no hypervisor in this configuration".into()))?;
         let gid = xen.add_guest(gspace, mac);
+        if self.rx_queue_cap.is_some() {
+            xen.domain_mut(gid).rx_queue_cap = self.rx_queue_cap;
+        }
         self.machine.map_fresh(gspace, GUEST_HEAP_BASE, 4)?;
         Ok(gid)
     }
@@ -2300,6 +2876,15 @@ impl System {
     }
 
     fn rx_twin(&mut self, devs: &[u32]) -> Result<(), SystemError> {
+        self.rx_twin_reap(devs)?;
+        self.flush_guest_rx_queues()
+    }
+
+    /// The interrupt half of [`System::rx_twin`]: per-NIC dispatch and
+    /// descriptor reap into the per-guest queues, without the demux
+    /// flush — so the open-loop harness can model a per-arrival ISR
+    /// whose consumer (the flush) runs only when the CPU gets a gap.
+    fn rx_twin_reap(&mut self, devs: &[u32]) -> Result<(), SystemError> {
         // The hypervisor takes each NIC's interrupt directly and runs the
         // hypervisor driver's handler in softirq context (paper §4.4) —
         // from the current (guest) context, no switch. Every NIC is its
@@ -2318,7 +2903,10 @@ impl System {
         let work = self.world.xen.as_mut().unwrap().take_runnable_softirqs();
         for w in work {
             let nic = match w {
-                Softirq::DriverIrq { nic } => nic,
+                // A poll softirq raised while an interrupt pass is in
+                // flight reaps through the same handler: the ICR read
+                // inside it consumes whatever cause is latched.
+                Softirq::DriverIrq { nic } | Softirq::NapiPoll { nic } => nic,
                 // The high-water kick: drain the deferred-upcall ring if
                 // no burst-pass flush got there first.
                 Softirq::UpcallFlush => {
@@ -2342,7 +2930,7 @@ impl System {
             self.machine.meter.pop_domain();
             r?;
         }
-        self.flush_guest_rx_queues()
+        Ok(())
     }
 
     /// Fans demultiplexed frames out of the per-guest RX queues into the
@@ -2351,16 +2939,18 @@ impl System {
     /// cost only for the first frame of its flush batch (paper §5.3,
     /// batched).
     ///
-    /// **Fairness:** each round copies at most
-    /// [`SystemOptions::rx_flush_quantum`] frames into any one guest
-    /// before moving on, so a guest flooding the wire delays every other
-    /// guest's virq by at most one quantum of copies instead of its whole
-    /// backlog. Rounds repeat until every queue drains;
-    /// [`System::rx_flush_log`] records `(round, guest, frames)` for
-    /// observation.
+    /// **Fairness:** the rounds run deficit round-robin. Each round a
+    /// backlogged guest's deficit grows by its weighted quantum
+    /// ([`SystemOptions::rx_flush_quantum`] ×
+    /// [`SystemOptions::guest_weights`], weight 1 when unset) and it is
+    /// served up to the deficit, so a guest flooding the wire delays
+    /// every other guest's virq by at most one weighted quantum of
+    /// copies instead of its whole backlog. Unit weights degenerate to
+    /// the plain per-round quantum bit-exactly. Rounds repeat until
+    /// every queue drains; [`System::rx_flush_log`] records
+    /// `(round, guest, frames)` for observation.
     fn flush_guest_rx_queues(&mut self) -> Result<(), SystemError> {
         self.rx_flush_log.clear();
-        let quantum = self.rx_flush_quantum.max(1);
         // Guests whose stack already paid the full wakeup cost in this
         // flush (later rounds arrive in the same scheduling pass, so they
         // only pay the batched marginal).
@@ -2370,80 +2960,129 @@ impl System {
         // index ring, and the ring recycles when the flush completes.
         let mut zc_occ: BTreeMap<(u32, u32), usize> = BTreeMap::new();
         let mut round = 0usize;
-        loop {
-            let guest_ids: Vec<DomId> = self
+        while self.flush_rx_round_with(round, &mut woken, &mut zc_occ)? > 0 {
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// One standalone DRR flush round — the open-loop consumer's unit
+    /// of work between arrivals. Unlike the rounds inside
+    /// [`System::flush_guest_rx_queues`], each standalone round is its
+    /// own scheduling pass: the first frame per guest pays the full
+    /// wakeup cost again. Returns the frames delivered this round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults from virtual-interrupt delivery.
+    pub fn flush_rx_round(&mut self) -> Result<usize, SystemError> {
+        self.rx_flush_log.clear();
+        let mut woken: Vec<DomId> = Vec::new();
+        let mut zc_occ: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+        self.flush_rx_round_with(0, &mut woken, &mut zc_occ)
+    }
+
+    fn flush_rx_round_with(
+        &mut self,
+        round: usize,
+        woken: &mut Vec<DomId>,
+        zc_occ: &mut BTreeMap<(u32, u32), usize>,
+    ) -> Result<usize, SystemError> {
+        let quantum = self.rx_flush_quantum.max(1);
+        let guest_ids: Vec<DomId> = self
+            .world
+            .xen
+            .as_ref()
+            .unwrap()
+            .domains
+            .iter()
+            .filter(|d| !d.rx_queue.is_empty())
+            .map(|d| d.id)
+            .collect();
+        if guest_ids.is_empty() {
+            return Ok(0);
+        }
+        let mut flushed = 0usize;
+        for g in guest_ids {
+            // Deficit round-robin: the deficit grows by the guest's
+            // weighted quantum each round it has backlog, the guest is
+            // served up to it, and it resets when the queue drains.
+            let w = u64::from(self.guest_weights.get(&g.0).copied().unwrap_or(1).max(1));
+            let deficit = self.drr_deficit.entry(g.0).or_insert(0);
+            *deficit = deficit.saturating_add(quantum as u64 * w);
+            let budget = usize::try_from(*deficit).unwrap_or(usize::MAX);
+            let frames: Vec<Frame> = {
+                let xen = self.world.xen.as_mut().unwrap();
+                let queue = &mut xen.domain_mut(g).rx_queue;
+                let take = queue.len().min(budget);
+                queue.drain(..take).collect()
+            };
+            let emptied = self
                 .world
                 .xen
                 .as_ref()
                 .unwrap()
-                .domains
-                .iter()
-                .filter(|d| !d.rx_queue.is_empty())
-                .map(|d| d.id)
-                .collect();
-            if guest_ids.is_empty() {
-                break;
+                .domain(g)
+                .rx_queue
+                .is_empty();
+            let d = self.drr_deficit.get_mut(&g.0).expect("deficit entry");
+            if emptied {
+                *d = 0;
+            } else {
+                *d = d.saturating_sub(frames.len() as u64);
             }
-            for g in guest_ids {
-                let frames: Vec<Frame> = {
-                    let xen = self.world.xen.as_mut().unwrap();
-                    let queue = &mut xen.domain_mut(g).rx_queue;
-                    let take = queue.len().min(quantum);
-                    queue.drain(..take).collect()
+            flushed += frames.len();
+            let xen = self.world.xen.as_mut().unwrap();
+            xen.send_virq(&mut self.machine, g, 4);
+            self.rx_flush_log.push((round, g, frames.len()));
+            let first_wake = !woken.contains(&g);
+            if first_wake {
+                woken.push(g);
+            }
+            for (i, f) in frames.into_iter().enumerate() {
+                let dev = self.rx_flow_dev.get(&f.flow).copied().unwrap_or(0);
+                // Zero-copy: the twin driver posted a pool page for
+                // this slot, so delivery is a cached grant access
+                // instead of a copy into the guest.
+                let zc_hit = if self.zero_copy {
+                    let slot = *zc_occ.get(&(g.0, f.flow)).unwrap_or(&0);
+                    let hit = self.zc_access(g, f.flow, false, slot, f.len(), dev);
+                    if hit {
+                        *zc_occ.entry((g.0, f.flow)).or_insert(0) += 1;
+                    }
+                    hit
+                } else {
+                    false
                 };
-                let xen = self.world.xen.as_mut().unwrap();
-                xen.send_virq(&mut self.machine, g, 4);
-                self.rx_flush_log.push((round, g, frames.len()));
-                let first_wake = !woken.contains(&g);
-                if first_wake {
-                    woken.push(g);
+                if !zc_hit {
+                    {
+                        let m = &mut self.machine;
+                        let c = m.cost.copy_cycles(f.len() as u64);
+                        m.meter.charge_to(CostDomain::Xen, c);
+                    }
+                    if let Some(xen) = self.world.xen.as_mut() {
+                        xen.note_grant_copy(Some(dev));
+                    }
                 }
-                for (i, f) in frames.into_iter().enumerate() {
-                    let dev = self.rx_flow_dev.get(&f.flow).copied().unwrap_or(0);
-                    // Zero-copy: the twin driver posted a pool page for
-                    // this slot, so delivery is a cached grant access
-                    // instead of a copy into the guest.
-                    let zc_hit = if self.zero_copy {
-                        let slot = *zc_occ.get(&(g.0, f.flow)).unwrap_or(&0);
-                        let hit = self.zc_access(g, f.flow, false, slot, f.len(), dev);
-                        if hit {
-                            *zc_occ.entry((g.0, f.flow)).or_insert(0) += 1;
-                        }
-                        hit
+                {
+                    let m = &mut self.machine;
+                    m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_rx);
+                }
+                {
+                    let m = &mut self.machine;
+                    m.meter.charge_to(CostDomain::DomU, m.cost.pv_driver_guest);
+                    let stack = if i == 0 && first_wake {
+                        m.cost.tcp_rx_per_packet
                     } else {
-                        false
+                        m.cost.tcp_rx_batch_marginal
                     };
-                    if !zc_hit {
-                        {
-                            let m = &mut self.machine;
-                            let c = m.cost.copy_cycles(f.len() as u64);
-                            m.meter.charge_to(CostDomain::Xen, c);
-                        }
-                        if let Some(xen) = self.world.xen.as_mut() {
-                            xen.note_grant_copy(Some(dev));
-                        }
-                    }
-                    {
-                        let m = &mut self.machine;
-                        m.meter.charge_to(CostDomain::Xen, m.cost.twin_glue_rx);
-                    }
-                    {
-                        let m = &mut self.machine;
-                        m.meter.charge_to(CostDomain::DomU, m.cost.pv_driver_guest);
-                        let stack = if i == 0 && first_wake {
-                            m.cost.tcp_rx_per_packet
-                        } else {
-                            m.cost.tcp_rx_batch_marginal
-                        };
-                        m.meter.charge_to(CostDomain::DomU, stack);
-                    }
-                    let xen = self.world.xen.as_mut().unwrap();
-                    xen.domain_mut(g).rx_delivered.push(f);
+                    m.meter.charge_to(CostDomain::DomU, stack);
                 }
+                let xen = self.world.xen.as_mut().unwrap();
+                xen.domain_mut(g).rx_delivered.push(f);
             }
-            round += 1;
         }
-        Ok(())
+        Ok(flushed)
     }
 
     /// Drains frames that reached the wire, across every NIC in device

@@ -153,6 +153,20 @@ pub struct CostParams {
     /// register actually changes (window evaluations that keep the value
     /// are below the model's resolution).
     pub itr_retune: u64,
+    /// One NAPI mode transition (interrupt→poll or poll→interrupt): the
+    /// posted `IMC`/`IMS` mask write plus the poll-list bookkeeping the
+    /// real `__napi_schedule`/`napi_complete` pair does. Charged at each
+    /// switch, never per packet.
+    pub napi_switch: u64,
+    /// Dispatching one budgeted poll pass from softirq context: no
+    /// vector, no `ICR` read — cheaper than [`CostParams::irq_dispatch`]
+    /// because the device is masked and the softirq was already raised.
+    pub napi_poll_dispatch: u64,
+    /// Dropping one frame at RX-descriptor refill time because its
+    /// destination guest's backlog is over the admission watermark: a
+    /// queue-length compare and a counter bump, paid *before* any reap,
+    /// demux or copy work — the whole point of early drop.
+    pub early_drop: u64,
     /// Allocating/freeing an sk_buff in the kernel model.
     pub skb_alloc: u64,
     /// DMA map/unmap bookkeeping in the kernel model.
@@ -234,6 +248,9 @@ impl Default for CostParams {
             upcall_complete: 90,
             irq_dispatch: 350,
             itr_retune: 220,
+            napi_switch: 180,
+            napi_poll_dispatch: 260,
+            early_drop: 40,
             skb_alloc: 180,
             dma_map: 120,
             spinlock: 40,

@@ -886,6 +886,26 @@ impl Nic {
         }
         (self.rdt + n - self.rdh) % n
     }
+
+    /// RX descriptors the hardware has filled that software has not yet
+    /// reaped and replenished — the poll loop's "is there work" signal.
+    /// (The driver always posts `n - 1` buffers, so pending work is
+    /// whatever of that headroom is currently consumed.)
+    pub fn rx_pending(&self) -> u32 {
+        let n = self.rx_ring_len();
+        if n == 0 {
+            return 0;
+        }
+        (n - 1).saturating_sub(self.rx_free_descriptors())
+    }
+
+    /// Whether the receive-interrupt cause is masked (`IMS` bit for
+    /// `RXT0` clear) — the NAPI poll-mode state as hardware sees it:
+    /// masked means arrivals latch `ICR` silently and the budgeted poll
+    /// loop owns the ring until software re-arms via `IMS`.
+    pub fn rx_irq_masked(&self) -> bool {
+        self.ims & intr::RXT0 == 0
+    }
 }
 
 #[cfg(test)]
@@ -1040,6 +1060,38 @@ mod tests {
         // Replenish: software moves RDT forward; delivery works again.
         nic.mmio_write(&mut phys, regs::RDT, 2);
         assert!(nic.deliver(&mut phys, &f));
+    }
+
+    #[test]
+    fn rx_pending_tracks_fill_and_reap() {
+        let (mut nic, mut phys) = mk();
+        setup_rx(&mut nic, &mut phys, 4); // 3 buffers posted
+        assert_eq!(nic.rx_pending(), 0);
+        let f = Frame::data(nic.mac(), MacAddr::for_guest(9), 0, 0);
+        assert!(nic.deliver(&mut phys, &f));
+        assert!(nic.deliver(&mut phys, &f));
+        assert_eq!(nic.rx_pending(), 2);
+        // Software reaps + replenishes: RDT catches up to RDH - 1.
+        nic.mmio_write(&mut phys, regs::RDT, 1);
+        assert_eq!(nic.rx_pending(), 0);
+    }
+
+    #[test]
+    fn rx_irq_mask_state_follows_ims_imc() {
+        let (mut nic, mut phys) = mk();
+        setup_rx(&mut nic, &mut phys, 4);
+        assert!(nic.rx_irq_masked(), "masked until software enables");
+        nic.mmio_write(&mut phys, regs::IMS, intr::RXT0);
+        assert!(!nic.rx_irq_masked());
+        // Poll-mode entry: mask via IMC. The cause still latches, but
+        // the line stays deasserted until re-armed.
+        nic.mmio_write(&mut phys, regs::IMC, intr::RXT0);
+        assert!(nic.rx_irq_masked());
+        let f = Frame::data(nic.mac(), MacAddr::for_guest(9), 0, 0);
+        assert!(nic.deliver(&mut phys, &f));
+        assert!(!nic.irq_asserted(), "masked cause must not assert");
+        nic.mmio_write(&mut phys, regs::IMS, intr::RXT0);
+        assert!(nic.irq_asserted(), "re-arm raises the latched cause");
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub struct Domain {
     /// Frames demultiplexed to this guest by the hypervisor driver,
     /// waiting to be copied in when the guest is scheduled (paper §5.3).
     pub rx_queue: Vec<Frame>,
+    /// Bound on `rx_queue`: when set, the demux drops frames for this
+    /// guest once its backlog reaches the cap instead of queueing them
+    /// unboundedly — the receive-livelock drop point (all the reap and
+    /// demux work is already paid by then; that waste is the livelock).
+    /// `None` (the default) keeps the unbounded pre-overload behaviour.
+    pub rx_queue_cap: Option<usize>,
+    /// Frames dropped at the `rx_queue_cap` bound.
+    pub rx_queue_drops: u64,
     /// Frames fully delivered into the guest (after the copy).
     pub rx_delivered: Vec<Frame>,
 }
@@ -59,8 +67,25 @@ impl Domain {
             virq_enabled: true,
             pending_virqs: Vec::new(),
             rx_queue: Vec::new(),
+            rx_queue_cap: None,
+            rx_queue_drops: 0,
             rx_delivered: Vec::new(),
         }
+    }
+
+    /// Queues one demultiplexed frame toward this guest, honouring the
+    /// backlog cap. Returns `false` when the frame was dropped at the
+    /// cap (pure bookkeeping — the caller charges nothing extra: the
+    /// work wasted on a capped frame was already spent reaping it).
+    pub fn queue_rx(&mut self, frame: Frame) -> bool {
+        if let Some(cap) = self.rx_queue_cap {
+            if self.rx_queue.len() >= cap {
+                self.rx_queue_drops += 1;
+                return false;
+            }
+        }
+        self.rx_queue.push(frame);
+        true
     }
 
     /// Consumes every pending event on `port`, returning how many were

@@ -442,7 +442,11 @@ impl HyperSupport {
                 if skb.0 != 0 {
                     if let Some(frame) = skb.parse_frame(m, dom0)? {
                         match xen.guest_by_mac(frame.dst) {
-                            Some(gid) => xen.domain_mut(gid).rx_queue.push(frame),
+                            Some(gid) => {
+                                if !xen.domain_mut(gid).queue_rx(frame) {
+                                    m.meter.count_event("rx_queue_drop");
+                                }
+                            }
                             None => {
                                 self.demux_misses += 1;
                                 m.meter.count_event("demux_miss");

@@ -85,6 +85,14 @@ pub enum Softirq {
     /// coalesce like any softirq; if a natural flush drained the ring
     /// first, the handler is a no-op.
     UpcallFlush,
+    /// Run one budgeted NAPI poll pass over a masked NIC: raised while
+    /// the device is in poll mode instead of [`Softirq::DriverIrq`] (the
+    /// device's interrupt is masked, so nothing vectors). Duplicate
+    /// raises coalesce per device, like the interrupt source.
+    NapiPoll {
+        /// Which NIC to poll.
+        nic: u32,
+    },
 }
 
 /// The Xen-like hypervisor state machine.
