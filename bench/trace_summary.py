@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Summarizes a flight-recorder chrome trace (chrome://tracing JSON).
+
+Reads one `*.trace.json` file produced under `TWIN_TRACE_OUT` (by the
+sweep harnesses' export hooks or `System::export_trace`) and prints the
+event census a reviewer wants before opening the UI: instant counts by
+event name, poll-mode episode count and total residency per device
+track, and the span covered. Exits 1 when the file is not a well-formed
+trace (no `traceEvents` array, or an event without a name/phase) so CI
+can gate on artifact sanity, and, with `--require`, when a named event
+kind is absent — the livelock artifact must contain NAPI episodes and
+early-drop instants, not just load.
+
+Usage: trace_summary.py TRACE.json [--require poll_mode --require early_drop]
+       trace_summary.py --self-test
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+
+def summarize(trace):
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("no traceEvents array")
+    names = Counter()
+    episodes = Counter()
+    residency = Counter()
+    ts_lo, ts_hi = None, 0.0
+    for e in events:
+        name, ph = e.get("name"), e.get("ph")
+        if not isinstance(name, str) or not isinstance(ph, str):
+            raise ValueError(f"event without name/ph: {e!r}")
+        if ph == "M":
+            continue
+        names[name] += 1
+        ts = float(e.get("ts", 0.0))
+        ts_lo = ts if ts_lo is None else min(ts_lo, ts)
+        ts_hi = max(ts_hi, ts + float(e.get("dur", 0.0)))
+        if ph == "X":
+            track = f"pid{e.get('pid')}/tid{e.get('tid')}"
+            episodes[track] += 1
+            residency[track] += float(e.get("dur", 0.0))
+    return {
+        "events": dict(names),
+        "episodes": dict(episodes),
+        "residency_us": dict(residency),
+        "span_us": (ts_hi - ts_lo) if ts_lo is not None else 0.0,
+    }
+
+
+def report(path, required):
+    with open(path) as f:
+        trace = json.load(f)
+    s = summarize(trace)
+    print(f"{path}: {sum(s['events'].values())} events over "
+          f"{s['span_us']:.1f} us")
+    for name, n in sorted(s["events"].items()):
+        print(f"  {name:<24} {n:>8}")
+    for track in sorted(s["episodes"]):
+        print(f"  poll-mode {track}: {s['episodes'][track]} episodes, "
+              f"{s['residency_us'][track]:.1f} us resident")
+    missing = [r for r in required if s["events"].get(r, 0) == 0]
+    if missing:
+        print(f"FAIL: required event kinds absent: {', '.join(missing)}")
+        return 1
+    return 0
+
+
+def self_test():
+    good = {"traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 4,
+         "args": {"name": "e1000"}},
+        {"name": "poll_mode", "ph": "X", "pid": 4, "tid": 0,
+         "ts": 10.0, "dur": 5.0},
+        {"name": "early_drop", "ph": "i", "s": "t", "pid": 3, "tid": 1001,
+         "ts": 12.0, "args": {"guest": 1}},
+        {"name": "early_drop", "ph": "i", "s": "t", "pid": 3, "tid": 1001,
+         "ts": 13.0, "args": {"guest": 1}},
+    ]}
+    s = summarize(good)
+    assert s["events"] == {"poll_mode": 1, "early_drop": 2}, s
+    assert s["episodes"] == {"pid4/tid0": 1}, s
+    assert abs(s["residency_us"]["pid4/tid0"] - 5.0) < 1e-9, s
+    assert abs(s["span_us"] - 5.0) < 1e-9, s
+
+    # Metadata-only traces are well-formed but empty.
+    empty = {"traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 1, "args": {}}]}
+    assert summarize(empty)["events"] == {}, "metadata is not an event"
+
+    # Malformed traces must raise, not pass silently.
+    for bad in ({}, {"traceEvents": 3},
+                {"traceEvents": [{"ph": "i"}]},
+                {"traceEvents": [{"name": "x"}]}):
+        try:
+            summarize(bad)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError(f"malformed trace accepted: {bad!r}")
+    print("trace_summary self-test: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace", nargs="?", help="a *.trace.json file")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless this event kind is present")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.trace:
+        ap.error("a trace file (or --self-test) is required")
+    try:
+        return report(args.trace, args.require)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"FAIL: {args.trace}: {e}")
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,9 @@ fn build(controlled: bool) -> System {
         } else {
             Vec::new()
         },
+        // Flight recorder: free when off, zero cycles charged when on —
+        // the sweep numbers are bit-identical either way.
+        tracing: std::env::var_os("TWIN_TRACE_OUT").is_some(),
         ..SystemOptions::default()
     };
     let mut sys = System::build_with(Config::TwinDrivers, &opts).expect("build system");

@@ -160,6 +160,7 @@ pub use twin_net as net;
 pub use twin_nic as nic;
 pub use twin_rewriter as rewriter;
 pub use twin_svm as svm;
+pub use twin_trace as trace;
 pub use twin_xen as xen;
 
 #[cfg(test)]

@@ -140,89 +140,11 @@ impl LatencyStats {
 /// stays at a fixed memory footprint.
 pub const RX_LATENCY_RESERVOIR: usize = 65_536;
 
-/// A bounded uniform sample reservoir (Vitter's Algorithm R) with a
-/// deterministic in-struct LCG, so long runs keep O(capacity) memory and
-/// identical inputs always produce identical contents. Below capacity
-/// every pushed value is retained, making percentiles exact — the regime
-/// every committed sweep and test operates in.
-#[derive(Clone, Debug)]
-pub struct SampleReservoir {
-    cap: usize,
-    seen: u64,
-    rng: u64,
-    samples: Vec<u64>,
-}
-
-impl SampleReservoir {
-    /// Creates an empty reservoir holding at most `cap` samples.
-    pub fn new(cap: usize) -> SampleReservoir {
-        SampleReservoir {
-            cap: cap.max(1),
-            seen: 0,
-            rng: 0x5DEE_CE66_D569_3A53,
-            samples: Vec::new(),
-        }
-    }
-
-    /// Offers one sample; below capacity it is always kept, beyond it
-    /// replaces a uniformly chosen held sample with probability
-    /// `cap / seen` (Algorithm R).
-    pub fn push(&mut self, v: u64) {
-        self.seen += 1;
-        if self.samples.len() < self.cap {
-            if self.samples.is_empty() {
-                self.samples.reserve_exact(self.cap);
-            }
-            self.samples.push(v);
-            return;
-        }
-        self.rng = self
-            .rng
-            .wrapping_mul(6_364_136_223_846_793_005)
-            .wrapping_add(1_442_695_040_888_963_407);
-        let j = (self.rng >> 16) % self.seen;
-        if (j as usize) < self.cap {
-            self.samples[j as usize] = v;
-        }
-    }
-
-    /// The held samples (unordered).
-    pub fn samples(&self) -> &[u64] {
-        &self.samples
-    }
-
-    /// Total samples offered since the last clear.
-    pub fn seen(&self) -> u64 {
-        self.seen
-    }
-
-    /// Held sample count.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// True when nothing is held.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// Drops every sample and restarts the window (the RNG state is
-    /// deliberately kept: clearing is a measurement boundary, not a
-    /// replay point).
-    pub fn clear(&mut self) {
-        self.samples.clear();
-        self.seen = 0;
-    }
-}
-
-/// Nearest-rank percentile of an ascending-sorted slice (`p` in 0..=100).
-pub fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
+/// The deterministic bounded reservoir and nearest-rank percentile now
+/// live in `twin_trace` (the metrics registry builds its histogram
+/// summaries from the same primitives); re-exported here so every
+/// existing consumer keeps its import path.
+pub use twin_trace::{percentile, SampleReservoir};
 
 /// Latency percentiles of every upcall completed in the current
 /// measurement window of `sys` (empty stats outside TwinDrivers or when
@@ -773,6 +695,9 @@ pub fn measure_rx_livelock(
         .map(|v| LatencyStats::from_samples(sys.guest_rx_latency(v.0)).p99)
         .max()
         .unwrap_or(0);
+    // Flight-recorder export: a no-op unless TWIN_TRACE_OUT names a
+    // directory (and empty unless the system was built with tracing).
+    sys.export_trace(&format!("livelock_{}_{offered_x10}", profile.label()));
     Ok(LivelockPoint {
         nics: sys.nic_count() as u32,
         burst: burst_base,
@@ -816,49 +741,59 @@ pub fn measure_aggregate_throughput(
     packets: u64,
 ) -> Result<AggregateThroughput, SystemError> {
     let nics = sys.nic_count() as u32;
-    let active = |before: &[(u64, u64)], sys: &System| -> (u32, u32) {
-        let mut tx_links = 0;
-        let mut rx_links = 0;
-        for (nic, (t0, r0)) in sys.world.nics.iter().zip(before) {
-            let s = nic.stats();
-            tx_links += u32::from(s.tx_packets > *t0);
-            rx_links += u32::from(s.rx_packets > *r0);
-        }
-        (tx_links, rx_links)
-    };
-    let snapshot = |sys: &System| -> Vec<(u64, u64)> {
-        sys.world
-            .nics
-            .iter()
-            .map(|n| (n.stats().tx_packets, n.stats().rx_packets))
-            .collect()
+    // Everything this report derives — active links, grant traffic,
+    // early drops — now comes from [`System::metrics`] registry deltas
+    // rather than reaching into each stats struct. All counters are
+    // integers, so the deltas are bit-exact with the old per-struct
+    // bookkeeping.
+    let links = |d: &twin_trace::MetricSet, dir: &str| -> u32 {
+        (0..nics)
+            .filter(|i| d.counter(&format!("nic{i}.{dir}_packets")) > 0)
+            .count() as u32
     };
 
-    let grants_before = sys
-        .world
-        .xen
-        .as_ref()
-        .map(|x| x.grants.clone())
-        .unwrap_or_default();
-    let early_before = sys.rx_early_drops_per_guest();
-    let before = snapshot(sys);
+    let m0 = sys.metrics();
     let tx = sys.measure_tx_burst(burst, packets)?;
-    let (tx_links, _) = active(&before, sys);
-    let before = snapshot(sys);
+    let m1 = sys.metrics();
     let rx = sys.measure_rx_burst(burst, packets)?;
-    let (_, rx_links) = active(&before, sys);
-    let grants = sys
-        .world
-        .xen
-        .as_ref()
-        .map(|x| x.grants.delta_since(&grants_before))
-        .unwrap_or_default();
+    let m2 = sys.metrics();
 
-    let early_drops: BTreeMap<u32, u64> = sys
-        .rx_early_drops_per_guest()
-        .into_iter()
-        .map(|(g, n)| (g, n - early_before.get(&g).copied().unwrap_or(0)))
-        .filter(|(_, n)| *n > 0)
+    let tx_links = links(&m1.delta_since(&m0), "tx");
+    let rx_links = links(&m2.delta_since(&m1), "rx");
+
+    let span = m2.delta_since(&m0);
+    let mut grants = GrantStats {
+        maps: span.counter("grant.maps"),
+        unmaps: span.counter("grant.unmaps"),
+        copies: span.counter("grant.copies"),
+        ..GrantStats::default()
+    };
+    for (key, n) in span.counters_with_prefix("grant.dev") {
+        let Some((dev, field)) = key["grant.dev".len()..].split_once('.') else {
+            continue;
+        };
+        let Ok(dev) = dev.parse::<u32>() else {
+            continue;
+        };
+        let slot = grants.per_device.entry(dev).or_default();
+        match field {
+            "maps" => slot.maps = n,
+            "unmaps" => slot.unmaps = n,
+            "copies" => slot.copies = n,
+            _ => {}
+        }
+    }
+    grants
+        .per_device
+        .retain(|_, d| d.maps + d.unmaps + d.copies > 0);
+
+    let early_drops: BTreeMap<u32, u64> = span
+        .counters_with_prefix("guest")
+        .filter_map(|(key, n)| {
+            let (g, field) = key["guest".len()..].split_once('.')?;
+            (field == "early_drops" && n > 0).then(|| (g.parse::<u32>().ok(), n))
+        })
+        .filter_map(|(g, n)| Some((g?, n)))
         .collect();
 
     let tx_cpp = tx.breakdown.total();

@@ -30,6 +30,7 @@ use twin_net::{EtherType, Frame, MacAddr, MTU};
 use twin_nic::{ItrTuner, Nic, AUTOTUNE_WINDOW_CYCLES, MMIO_WINDOW};
 use twin_rewriter::{rewrite, RewriteOptions, RewriteStats};
 use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
+use twin_trace::{FlushCause, MetricSet, TraceEvent};
 use twin_xen::{
     load_hypervisor_driver, DomainKind, GrantAccess, GrantCache, HyperSupport, HypervisorDriver,
     Softirq, Xen, HYP_CODE_BASE, UPCALL_RING_SLOTS, UPCALL_STACK_BASE, UPCALL_STACK_PAGES,
@@ -258,6 +259,13 @@ pub struct SystemOptions {
     /// harness measures. `None` (the default) keeps the queue
     /// unbounded, bit-exact with the prior path.
     pub rx_queue_cap: Option<usize>,
+    /// Enable the flight recorder ([`twin_trace::FlightRecorder`]) at
+    /// build time. Recording is pure bookkeeping outside the charged
+    /// path — a traced run's cycle accounting, wire frames and stats are
+    /// bit-identical to an untraced run's — so this knob only controls
+    /// whether the event ring fills. `false` (the default) records
+    /// nothing. Can also be toggled later with [`System::set_tracing`].
+    pub tracing: bool,
 }
 
 impl Default for SystemOptions {
@@ -283,6 +291,7 @@ impl Default for SystemOptions {
             guest_weights: Vec::new(),
             rx_backlog_watermark: None,
             rx_queue_cap: None,
+            tracing: false,
         }
     }
 }
@@ -509,6 +518,14 @@ pub struct System {
     /// interrupt is masked and the budgeted poll loop owns its ring.
     /// Empty when NAPI is off — the interrupt path allocates nothing.
     poll_mode: Vec<bool>,
+    /// Virtual-clock stamp of each device's current poll-mode entry
+    /// (`None` when interrupt-driven). Pure bookkeeping for the
+    /// poll-mode-residency metric; parallel to `poll_mode`.
+    poll_entered_at: Vec<Option<u64>>,
+    /// Accumulated poll-mode residency per device, in virtual cycles
+    /// over completed episodes; [`System::poll_mode_cycles`] adds the
+    /// in-progress episode. Parallel to `poll_mode`.
+    poll_cycles: Vec<u64>,
     /// DRR weights per guest domain id (absent = weight 1).
     guest_weights: BTreeMap<u32, u32>,
     /// Deficit-round-robin counters (frames) per guest domain id,
@@ -742,6 +759,16 @@ impl System {
             } else {
                 Vec::new()
             },
+            poll_entered_at: if opts.napi_weight > 0 {
+                vec![None; num_nics]
+            } else {
+                Vec::new()
+            },
+            poll_cycles: if opts.napi_weight > 0 {
+                vec![0; num_nics]
+            } else {
+                Vec::new()
+            },
             guest_weights: opts.guest_weights.iter().copied().collect(),
             drr_deficit: BTreeMap::new(),
             rx_watermark: opts.rx_backlog_watermark,
@@ -755,6 +782,9 @@ impl System {
             seq: 0,
             tx_batch_buf: 0,
         };
+        if opts.tracing {
+            sys.machine.trace.set_enabled(true);
+        }
 
         // Initialise the VM instance in dom0 (paper §3.1: "we first load
         // the VM driver into the dom0 kernel where it performs the
@@ -962,12 +992,19 @@ impl System {
     ///
     /// Propagates faults from the flushed routines.
     pub fn flush_deferred_upcalls(&mut self) -> Result<usize, SystemError> {
+        self.flush_deferred_upcalls_as(FlushCause::BurstEnd)
+    }
+
+    /// [`System::flush_deferred_upcalls`] with an explicit cause for the
+    /// flight recorder (the cause is trace metadata only — every cause
+    /// drains the same way).
+    fn flush_deferred_upcalls_as(&mut self, cause: FlushCause) -> Result<usize, SystemError> {
         let World {
             kernel, xen, hyper, ..
         } = &mut self.world;
         if let (Some(hs), Some(xen)) = (hyper.as_mut(), xen.as_mut()) {
             if hs.engine.deferred() && hs.engine.depth() > 0 {
-                return Ok(hs.flush_upcalls(&mut self.machine, kernel, xen)?);
+                return Ok(hs.flush_upcalls(&mut self.machine, kernel, xen, cause)?);
             }
         }
         Ok(0)
@@ -1057,12 +1094,26 @@ impl System {
             }
         }
         for dev in 0..self.itr_tuners.len() {
+            let old = self.world.nics[dev].itr();
             let retuned = self.itr_tuners[dev].service(now, &self.world.nics[dev]);
             if let Some(itr) = retuned {
                 let m = &mut self.machine;
                 m.meter.charge_to(CostDomain::Driver, m.cost.itr_retune);
                 m.meter.count_event("itr_retune");
                 self.set_itr(dev as u32, itr)?;
+                if self.machine.trace.enabled() {
+                    let regime = match self.itr_tuners[dev].class() {
+                        twin_nic::LatencyClass::LowestLatency => "lowest_latency",
+                        twin_nic::LatencyClass::LowLatency => "low_latency",
+                        twin_nic::LatencyClass::BulkLatency => "bulk_latency",
+                    };
+                    self.machine.trace_event(TraceEvent::ItrRetune {
+                        dev: dev as u32,
+                        old,
+                        new: itr,
+                        regime,
+                    });
+                }
             }
         }
         Ok(())
@@ -1092,7 +1143,7 @@ impl System {
             .as_ref()
             .is_some_and(|h| h.engine.flush_due(now))
         {
-            self.flush_deferred_upcalls()?;
+            self.flush_deferred_upcalls_as(FlushCause::Deadline)?;
         }
         if !self.moderated_pending.is_empty() {
             // Entries whose cause was acked by another path (an allowed
@@ -1137,6 +1188,10 @@ impl System {
             let now = self.machine.meter.now();
             let due = self.world.kernel.take_due_timers(now);
             for t in due {
+                if self.machine.trace.enabled() {
+                    self.machine
+                        .trace_event(TraceEvent::TimerFire { data: t.data });
+                }
                 self.machine.meter.push_domain(CostDomain::Driver);
                 let r = self.call_dom0(t.handler, &[t.data as u32], 5_000_000);
                 self.machine.meter.pop_domain();
@@ -1741,7 +1796,7 @@ impl System {
         ) -> Result<(), SystemError> {
             hs.engine.stats.continuations += 1;
             machine.meter.count_event("upcall_continuation");
-            hs.flush_upcalls(machine, kernel, xen)?;
+            hs.flush_upcalls(machine, kernel, xen, FlushCause::Continuation)?;
             for id in pending.drain(..) {
                 let done = hs
                     .engine
@@ -2009,6 +2064,10 @@ impl System {
                     } else {
                         if !self.moderated_pending.contains(dev) {
                             self.moderated_pending.push(*dev);
+                            if self.machine.trace.enabled() {
+                                self.machine
+                                    .trace_event(TraceEvent::IrqMasked { dev: *dev });
+                            }
                         }
                         // Anchor the gated wait (auto-tune only): the
                         // just-latched batch is excluded, so the anchor
@@ -2176,6 +2235,9 @@ impl System {
             } else if !self.moderated_pending.contains(&dev) {
                 self.moderated_pending.push(dev);
                 self.machine.meter.count_event("irq_moderated");
+                if self.machine.trace.enabled() {
+                    self.machine.trace_event(TraceEvent::IrqMasked { dev });
+                }
             }
         }
         self.flush_deferred_upcalls()?;
@@ -2333,6 +2395,137 @@ impl System {
         self.poll_mode.get(dev as usize).copied().unwrap_or(false)
     }
 
+    /// Turns the flight recorder on or off at runtime (see
+    /// [`SystemOptions::tracing`] for the build-time knob). Recording
+    /// never charges a cycle, so toggling this cannot perturb any
+    /// measurement.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.machine.trace.set_enabled(enabled);
+    }
+
+    /// Virtual cycles `dev` has spent in NAPI poll mode: completed
+    /// enter→complete episodes plus the in-progress one (measured to
+    /// now). Always 0 when NAPI is off. Pure bookkeeping — maintained
+    /// without charging.
+    pub fn poll_mode_cycles(&self, dev: u32) -> u64 {
+        let i = dev as usize;
+        let done = self.poll_cycles.get(i).copied().unwrap_or(0);
+        let live = self
+            .poll_entered_at
+            .get(i)
+            .copied()
+            .flatten()
+            .map(|t| self.machine.meter.now().saturating_sub(t))
+            .unwrap_or(0);
+        done + live
+    }
+
+    /// One unified snapshot of every stats source in the system — the
+    /// cycle meter (per-domain totals and named event counters), per-NIC
+    /// device stats, per-guest delivery/drop counters, upcall-engine and
+    /// grant counters, grant-cache stats, the flight recorder's own
+    /// recorded/dropped counts — as a flat [`MetricSet`]. Consumers take
+    /// two snapshots and [`MetricSet::delta_since`] them; all counters
+    /// are integers read from the same sources the scattered accessors
+    /// expose, so sweeps built on deltas are bit-exact with the old
+    /// per-struct bookkeeping.
+    pub fn metrics(&self) -> MetricSet {
+        let mut ms = MetricSet::new();
+        let meter = &self.machine.meter;
+        ms.set("clock.now_cycles", meter.now());
+        for d in CostDomain::ALL {
+            ms.set(format!("meter.cycles.{}", d.label()), meter.cycles(d));
+        }
+        for (name, v) in meter.events() {
+            ms.set(format!("event.{name}"), *v);
+        }
+        for (i, nic) in self.world.nics.iter().enumerate() {
+            let s = nic.stats();
+            ms.set(format!("nic{i}.tx_packets"), s.tx_packets);
+            ms.set(format!("nic{i}.rx_packets"), s.rx_packets);
+            ms.set(format!("nic{i}.tx_bytes"), s.tx_bytes);
+            ms.set(format!("nic{i}.rx_bytes"), s.rx_bytes);
+            ms.set(format!("nic{i}.rx_missed"), s.rx_missed);
+            ms.set(format!("nic{i}.rx_irqs"), s.rx_irqs);
+            ms.set(format!("nic{i}.tx_irqs"), s.tx_irqs);
+            ms.set(format!("nic{i}.irqs_delivered"), nic.irqs_delivered());
+            ms.set(format!("nic{i}.itr"), u64::from(nic.itr()));
+            ms.set(
+                format!("nic{i}.poll_cycles"),
+                self.poll_mode_cycles(i as u32),
+            );
+        }
+        if let Some(xen) = self.world.xen.as_ref() {
+            ms.set("xen.switches", xen.switches);
+            ms.set("xen.hypercalls", xen.hypercalls);
+            ms.set("xen.virqs_sent", xen.virqs_sent);
+            ms.set("xen.softirqs_coalesced", xen.softirqs_coalesced);
+            ms.set("grant.maps", xen.grants.maps);
+            ms.set("grant.unmaps", xen.grants.unmaps);
+            ms.set("grant.copies", xen.grants.copies);
+            for (dev, dg) in &xen.grants.per_device {
+                ms.set(format!("grant.dev{dev}.maps"), dg.maps);
+                ms.set(format!("grant.dev{dev}.unmaps"), dg.unmaps);
+                ms.set(format!("grant.dev{dev}.copies"), dg.copies);
+            }
+            for d in &xen.domains {
+                if d.kind != DomainKind::Guest {
+                    continue;
+                }
+                let g = d.id.0;
+                ms.set(format!("guest{g}.delivered"), d.rx_delivered.len() as u64);
+                ms.set(format!("guest{g}.queued"), d.rx_queue.len() as u64);
+                ms.set(format!("guest{g}.queue_drops"), d.rx_queue_drops);
+                ms.set(
+                    format!("guest{g}.early_drops"),
+                    self.rx_early_drops.get(&g).copied().unwrap_or(0),
+                );
+            }
+        }
+        if let Some(hs) = self.world.hyper.as_ref() {
+            let s = hs.engine.stats;
+            ms.set("upcall.enqueued", s.enqueued);
+            ms.set("upcall.flushes", s.flushes);
+            ms.set("upcall.forced_flushes", s.forced_flushes);
+            ms.set("upcall.continuations", s.continuations);
+            ms.set("upcall.completions", s.completions);
+            ms.set("upcall.max_depth", s.max_depth as u64);
+            ms.set("upcall.executed", hs.upcalls);
+            ms.set("upcall.demux_misses", hs.demux_misses);
+            ms.record_samples("upcall_latency", hs.engine.latency_samples());
+        }
+        if let Some(cs) = self.grant_cache_stats() {
+            ms.set("grantcache.hits", cs.hits);
+            ms.set("grantcache.misses", cs.misses);
+            ms.set("grantcache.evictions", cs.evictions);
+            ms.set("grantcache.revoked", cs.revoked);
+        }
+        ms.set("trace.events_recorded", self.machine.trace.recorded());
+        ms.set("trace.events_dropped", self.machine.trace.dropped());
+        ms.record_samples("rx_latency", self.rx_latency.samples());
+        if let Some(per_guest) = self.guest_latency.as_ref() {
+            for (g, r) in per_guest {
+                ms.record_samples(format!("rx_latency.guest{g}"), r.samples());
+            }
+        }
+        ms
+    }
+
+    /// Writes `<label>.trace.json` (chrome://tracing) and
+    /// `<label>.metrics.json` (flat [`MetricSet`] dump) into the
+    /// directory named by the `TWIN_TRACE_OUT` environment variable.
+    /// A no-op when the variable is unset; never fatal.
+    pub fn export_trace(&self, label: &str) {
+        if let Some(dir) = twin_trace::export::trace_out_dir() {
+            twin_trace::export::write_trace_files(
+                &dir,
+                label,
+                &self.machine.trace,
+                &self.metrics(),
+            );
+        }
+    }
+
     /// Sets (or changes) a guest's DRR flush weight at runtime. Weight 1
     /// is the neutral default; 0 is clamped to 1.
     pub fn set_guest_weight(&mut self, gid: DomId, weight: u32) {
@@ -2399,6 +2592,9 @@ impl System {
             m.meter.count_event("irq");
             m.meter.charge_to(CostDomain::Xen, m.cost.irq_dispatch);
         }
+        if self.machine.trace.enabled() {
+            self.machine.trace_event(TraceEvent::IrqDelivered { dev });
+        }
         // Ack: read-to-clear consumes the latched cause.
         let _ = self.world.nics[dev as usize].mmio_read(twin_nic::regs::ICR);
         Env::mmio_write(
@@ -2415,6 +2611,10 @@ impl System {
             m.meter.count_event("napi_enter");
         }
         self.poll_mode[dev as usize] = true;
+        self.poll_entered_at[dev as usize] = Some(self.machine.meter.now());
+        if self.machine.trace.enabled() {
+            self.machine.trace_event(TraceEvent::NapiEnter { dev });
+        }
         self.moderated_pending.retain(|d| *d != dev);
         Ok(())
     }
@@ -2440,6 +2640,13 @@ impl System {
             m.meter.count_event("napi_exit");
         }
         self.poll_mode[dev as usize] = false;
+        let now = self.machine.meter.now();
+        if let Some(entered) = self.poll_entered_at[dev as usize].take() {
+            self.poll_cycles[dev as usize] += now.saturating_sub(entered);
+        }
+        if self.machine.trace.enabled() {
+            self.machine.trace_event(TraceEvent::NapiComplete { dev });
+        }
         Ok(())
     }
 
@@ -2450,6 +2657,12 @@ impl System {
     /// polled devices. Returns frames reaped.
     fn napi_poll_dev_reap(&mut self, dev: u32) -> Result<usize, SystemError> {
         let weight = self.napi_weight as u32;
+        if self.machine.trace.enabled() {
+            self.machine.trace_event(TraceEvent::SoftirqDispatch {
+                kind: "napi_poll",
+                dev,
+            });
+        }
         {
             let xen = self.world.xen.as_mut().expect("napi implies xen");
             xen.raise_softirq(Softirq::NapiPoll { nic: dev });
@@ -2458,7 +2671,13 @@ impl System {
             let work = xen.take_runnable_softirqs();
             for w in work {
                 if let Softirq::UpcallFlush = w {
-                    self.flush_deferred_upcalls()?;
+                    if self.machine.trace.enabled() {
+                        self.machine.trace_event(TraceEvent::SoftirqDispatch {
+                            kind: "upcall_flush",
+                            dev: 0,
+                        });
+                    }
+                    self.flush_deferred_upcalls_as(FlushCause::HighWater)?;
                 }
             }
         }
@@ -2485,7 +2704,14 @@ impl System {
         self.machine.meter.push_domain(CostDomain::Driver);
         let r = self.call_hyperdrv(entry, &args, 20_000_000);
         self.machine.meter.pop_domain();
-        Ok(r? as usize)
+        let reaped = r? as usize;
+        if self.machine.trace.enabled() {
+            self.machine.trace_event(TraceEvent::NapiPoll {
+                dev,
+                reaped: reaped as u32,
+            });
+        }
+        Ok(reaped)
     }
 
     /// One poll pass over every device currently in poll mode: reap each
@@ -2573,10 +2799,14 @@ impl System {
         });
         for (gid, n) in dropped {
             *self.rx_early_drops.entry(gid).or_insert(0) += n;
-            let m = &mut self.machine;
             for _ in 0..n {
+                let m = &mut self.machine;
                 m.meter.charge_to(CostDomain::Xen, m.cost.early_drop);
                 m.meter.count_event("early_drop");
+                if self.machine.trace.enabled() {
+                    self.machine
+                        .trace_event(TraceEvent::EarlyDrop { guest: gid });
+                }
             }
         }
     }
@@ -2690,6 +2920,12 @@ impl System {
                 .expect("zero-copy implies a hypervisor")
                 .grant_unmap(&mut self.machine);
         }
+        if self.machine.trace.enabled() {
+            self.machine.trace_event(TraceEvent::GrantCacheRevoke {
+                dom: gid.0,
+                count: n as u32,
+            });
+        }
         self.zc_granted.remove(&gid.0);
         n
     }
@@ -2730,6 +2966,10 @@ impl System {
                 let m = &mut self.machine;
                 m.meter.charge_to(CostDomain::Xen, m.cost.grant_cache_hit);
                 m.meter.count_event("grant_cache_hit");
+                if self.machine.trace.enabled() {
+                    self.machine
+                        .trace_event(TraceEvent::GrantCacheHit { dom: dom.0, page });
+                }
             }
             GrantAccess::Miss { evicted } => {
                 self.world
@@ -2740,13 +2980,23 @@ impl System {
                 let m = &mut self.machine;
                 m.meter.charge_to(CostDomain::Xen, m.cost.pin_page);
                 m.meter.count_event("pin_page");
-                if evicted.is_some() {
+                if self.machine.trace.enabled() {
+                    self.machine
+                        .trace_event(TraceEvent::GrantCacheMiss { dom: dom.0, page });
+                }
+                if let Some((edom, epage)) = evicted {
                     self.world
                         .xen
                         .as_mut()
                         .unwrap()
                         .grant_unmap(&mut self.machine);
                     self.machine.meter.count_event("grant_cache_evict");
+                    if self.machine.trace.enabled() {
+                        self.machine.trace_event(TraceEvent::GrantCacheEvict {
+                            dom: edom,
+                            page: epage,
+                        });
+                    }
                 }
             }
         }
@@ -2758,6 +3008,9 @@ impl System {
         // the first packet the handler pushes into the stack pays the
         // full wakeup cost, the rest of the burst the GRO marginal.
         self.world.kernel.begin_stack_burst();
+        if self.machine.trace.enabled() {
+            self.machine.trace_event(TraceEvent::IrqDelivered { dev });
+        }
         let m = &mut self.machine;
         m.meter.count_event("irq");
         m.meter.charge_to(CostDomain::Dom0, m.cost.irq_dispatch);
@@ -2896,6 +3149,9 @@ impl System {
                 m.meter.count_event("irq");
                 m.meter.charge_to(CostDomain::Xen, m.cost.irq_dispatch);
             }
+            if self.machine.trace.enabled() {
+                self.machine.trace_event(TraceEvent::IrqDelivered { dev });
+            }
             let xen = self.world.xen.as_mut().expect("xen");
             xen.raise_softirq(Softirq::DriverIrq { nic: dev });
         }
@@ -2906,11 +3162,27 @@ impl System {
                 // A poll softirq raised while an interrupt pass is in
                 // flight reaps through the same handler: the ICR read
                 // inside it consumes whatever cause is latched.
-                Softirq::DriverIrq { nic } | Softirq::NapiPoll { nic } => nic,
+                Softirq::DriverIrq { nic } | Softirq::NapiPoll { nic } => {
+                    if self.machine.trace.enabled() {
+                        let kind = match w {
+                            Softirq::DriverIrq { .. } => "driver_irq",
+                            _ => "napi_poll",
+                        };
+                        self.machine
+                            .trace_event(TraceEvent::SoftirqDispatch { kind, dev: nic });
+                    }
+                    nic
+                }
                 // The high-water kick: drain the deferred-upcall ring if
                 // no burst-pass flush got there first.
                 Softirq::UpcallFlush => {
-                    self.flush_deferred_upcalls()?;
+                    if self.machine.trace.enabled() {
+                        self.machine.trace_event(TraceEvent::SoftirqDispatch {
+                            kind: "upcall_flush",
+                            dev: 0,
+                        });
+                    }
+                    self.flush_deferred_upcalls_as(FlushCause::HighWater)?;
                     continue;
                 }
             };
@@ -3010,6 +3282,7 @@ impl System {
             let w = u64::from(self.guest_weights.get(&g.0).copied().unwrap_or(1).max(1));
             let deficit = self.drr_deficit.entry(g.0).or_insert(0);
             *deficit = deficit.saturating_add(quantum as u64 * w);
+            let deficit_at_serve = *deficit;
             let budget = usize::try_from(*deficit).unwrap_or(usize::MAX);
             let frames: Vec<Frame> = {
                 let xen = self.world.xen.as_mut().unwrap();
@@ -3032,6 +3305,13 @@ impl System {
                 *d = d.saturating_sub(frames.len() as u64);
             }
             flushed += frames.len();
+            if self.machine.trace.enabled() {
+                self.machine.trace_event(TraceEvent::DrrGrant {
+                    guest: g.0,
+                    deficit: deficit_at_serve,
+                    granted: frames.len() as u32,
+                });
+            }
             let xen = self.world.xen.as_mut().unwrap();
             xen.send_virq(&mut self.machine, g, 4);
             self.rx_flush_log.push((round, g, frames.len()));

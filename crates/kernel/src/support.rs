@@ -4,7 +4,7 @@
 
 use crate::heap::Heap;
 use crate::skb::{offsets, SkBuff, SkbPool};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use twin_machine::{CostDomain, Cpu, ExecMode, Fault, Machine, SpaceId};
 use twin_net::Frame;
 use twin_nic::MMIO_WINDOW;
@@ -19,49 +19,12 @@ pub const MMIO_BASE: u64 = 0xE02A_0000;
 
 /// Records which support routines the driver calls in which phase; the
 /// Table 1 harness compares the `fastpath` set against the paper's ten.
-#[derive(Clone, Debug, Default)]
-pub struct Trace {
-    /// Current phase label (`"init"`, `"config"`, `"fastpath"`).
-    pub phase: String,
-    /// Whether recording is enabled.
-    pub enabled: bool,
-    calls: BTreeMap<String, BTreeSet<String>>,
-}
-
-impl Trace {
-    /// Creates a disabled trace.
-    pub fn new() -> Trace {
-        Trace {
-            phase: "init".to_string(),
-            enabled: false,
-            calls: BTreeMap::new(),
-        }
-    }
-
-    /// Records a call to `name` in the current phase.
-    pub fn record(&mut self, name: &str) {
-        if self.enabled {
-            self.calls
-                .entry(name.to_string())
-                .or_default()
-                .insert(self.phase.clone());
-        }
-    }
-
-    /// Routines observed in a given phase.
-    pub fn names_in_phase(&self, phase: &str) -> BTreeSet<String> {
-        self.calls
-            .iter()
-            .filter(|(_, phases)| phases.contains(phase))
-            .map(|(n, _)| n.clone())
-            .collect()
-    }
-
-    /// All distinct routines observed.
-    pub fn all_names(&self) -> BTreeSet<String> {
-        self.calls.keys().cloned().collect()
-    }
-}
+///
+/// This is `twin_trace::CallTrace` — the bespoke kernel-local mechanism
+/// was consolidated onto the unified tracing crate. Sites that `record`
+/// a call also emit a typed [`twin_trace::TraceEvent::KernelCall`] into
+/// the machine's flight recorder.
+pub use twin_trace::CallTrace as Trace;
 
 /// Virtual cycles per kernel jiffy: the `mod_timer`/`jiffies_read` unit.
 /// 30 000 cycles is 10 µs on the modeled 3.0 GHz Xeon — a fine-grained
@@ -394,6 +357,12 @@ impl Dom0Kernel {
             return None;
         }
         self.trace.record(name);
+        if m.trace.enabled() {
+            m.trace_event(twin_trace::TraceEvent::KernelCall {
+                routine: name.to_string(),
+                phase: self.trace.phase.clone(),
+            });
+        }
         m.meter.push_domain(CostDomain::Dom0);
         let r = self.dispatch(name, m, cpu);
         m.meter.pop_domain();

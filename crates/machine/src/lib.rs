@@ -80,6 +80,11 @@ pub struct Machine {
     pub meter: CycleMeter,
     /// Cost constants.
     pub cost: CostParams,
+    /// Flight recorder (disabled by default). Recording is pure
+    /// bookkeeping outside the charged path: [`Machine::trace_event`]
+    /// *reads* the clock and domain stack but never charges, so a traced
+    /// run's cycle accounting is bit-identical to an untraced run's.
+    pub trace: twin_trace::FlightRecorder,
     images: Vec<CodeImage>,
     extern_names: Vec<String>,
 }
@@ -105,6 +110,7 @@ impl Machine {
             hyper: PageTable::new(),
             meter: CycleMeter::new(),
             cost,
+            trace: twin_trace::FlightRecorder::new(),
             images: Vec::new(),
             extern_names: Vec::new(),
         }
@@ -115,6 +121,17 @@ impl Machine {
     /// [`cost::VirtualClock`]).
     pub fn now_cycles(&self) -> u64 {
         self.meter.now()
+    }
+
+    /// Records a flight-recorder event stamped with the current virtual
+    /// clock and cost domain. A branch-and-return while tracing is
+    /// disabled; never charges a cycle either way.
+    #[inline]
+    pub fn trace_event(&mut self, event: twin_trace::TraceEvent) {
+        if self.trace.enabled() {
+            self.trace
+                .record(self.meter.now(), self.meter.current_domain().label(), event);
+        }
     }
 
     /// Creates a new, empty address space and returns its id.

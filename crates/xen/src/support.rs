@@ -29,6 +29,7 @@ use std::collections::BTreeSet;
 use twin_kernel::{DeferClass, Dom0Kernel, SkBuff, KNOWN_ROUTINES, TABLE1_FASTPATH};
 use twin_machine::{CostDomain, Cpu, ExecMode, Fault, Machine, PAGE_SIZE};
 use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
+use twin_trace::{FlushCause, TraceEvent};
 
 /// Event-channel port used for upcall requests.
 pub const UPCALL_PORT: u32 = 31;
@@ -132,13 +133,19 @@ impl HyperSupport {
                     .find(|(n, _)| *n == name)
                 {
                     if self.engine.has_queued_any(queued) {
-                        if let Err(e) = self.flush_upcalls(m, kernel, xen) {
+                        if let Err(e) = self.flush_upcalls(m, kernel, xen, FlushCause::Conflict) {
                             return Some(Err(e));
                         }
                     }
                 }
             }
             kernel.trace.record(name);
+            if m.trace.enabled() {
+                m.trace_event(TraceEvent::KernelCall {
+                    routine: name.to_string(),
+                    phase: kernel.trace.phase.clone(),
+                });
+            }
             m.meter.push_domain(CostDomain::Xen);
             let r = self.native_impl(name, m, cpu, kernel, xen, svm);
             m.meter.pop_domain();
@@ -212,7 +219,7 @@ impl HyperSupport {
                 // drain the ring first so queued entries (frees,
                 // unlocks) execute before it in program order — dom0
                 // must not observe the sync call ahead of older work.
-                self.flush_upcalls(m, kernel, xen)?;
+                self.flush_upcalls(m, kernel, xen, FlushCause::SyncOrder)?;
                 self.upcall(name, m, cpu, kernel, xen)
             }
             DeferClass::Deferred => {
@@ -230,7 +237,7 @@ impl HyperSupport {
                 // return value its completion carries.
                 self.engine.stats.continuations += 1;
                 m.meter.count_event("upcall_continuation");
-                self.flush_upcalls(m, kernel, xen)?;
+                self.flush_upcalls(m, kernel, xen, FlushCause::Continuation)?;
                 let done = self
                     .engine
                     .take_completion(cont_id)
@@ -286,7 +293,7 @@ impl HyperSupport {
         if self.engine.is_full() {
             self.engine.stats.forced_flushes += 1;
             m.meter.count_event("upcall_forced_flush");
-            self.flush_upcalls(m, kernel, xen)?;
+            self.flush_upcalls(m, kernel, xen, FlushCause::RingFull)?;
         }
         let c = m.cost.upcall_enqueue;
         m.meter.charge_to(CostDomain::Xen, c);
@@ -308,6 +315,12 @@ impl HyperSupport {
         ];
         let cycles = m.meter.now();
         let cont_id = self.engine.enqueue(name, args, cycles);
+        if m.trace.enabled() {
+            m.trace_event(TraceEvent::UpcallEnqueue {
+                routine: name.to_string(),
+                cont_id,
+            });
+        }
         // Persist the slot: (routine id, arity, args[0..4], cont id).
         let entry = self.engine.stats.enqueued.wrapping_sub(1);
         let slot = UPCALL_RING_BASE + (entry % UPCALL_RING_SLOTS) * UPCALL_RING_SLOT_BYTES;
@@ -342,6 +355,7 @@ impl HyperSupport {
         m: &mut Machine,
         kernel: &mut Dom0Kernel,
         xen: &mut Xen,
+        cause: FlushCause,
     ) -> Result<usize, Fault> {
         if self.engine.depth() == 0 {
             return Ok(0);
@@ -359,6 +373,12 @@ impl HyperSupport {
         xen.domain_mut(DomId::DOM0).pending_virqs.pop();
         let entries = self.engine.drain();
         let n = entries.len();
+        if m.trace.enabled() {
+            m.trace_event(TraceEvent::UpcallFlush {
+                cause,
+                drained: n as u32,
+            });
+        }
         let stack_top = UPCALL_STACK_BASE + UPCALL_STACK_PAGES * PAGE_SIZE;
         let mut first_err: Option<Fault> = None;
         for entry in &entries {
@@ -384,6 +404,12 @@ impl HyperSupport {
                     let c = m.cost.upcall_complete;
                     m.meter.charge_to(CostDomain::Xen, c);
                     self.engine.complete(entry, ret, m.meter.now());
+                    if m.trace.enabled() {
+                        m.trace_event(TraceEvent::UpcallCompletion {
+                            routine: entry.routine.clone(),
+                            cont_id: entry.cont_id,
+                        });
+                    }
                 }
                 Err(e) => first_err = Some(e),
             }
@@ -445,6 +471,9 @@ impl HyperSupport {
                             Some(gid) => {
                                 if !xen.domain_mut(gid).queue_rx(frame) {
                                     m.meter.count_event("rx_queue_drop");
+                                    if m.trace.enabled() {
+                                        m.trace_event(TraceEvent::QueueCapDrop { guest: gid.0 });
+                                    }
                                 }
                             }
                             None => {
@@ -788,7 +817,9 @@ mod tests {
         assert_eq!(hs.engine.depth(), 1);
         assert_eq!(m.meter.event("upcall_enqueue"), 1);
         // The flush executes it in one switch-pair and posts completion.
-        let n = hs.flush_upcalls(&mut m, &mut kernel, &mut xen).unwrap();
+        let n = hs
+            .flush_upcalls(&mut m, &mut kernel, &mut xen, FlushCause::BurstEnd)
+            .unwrap();
         assert_eq!(n, 1);
         assert_eq!(xen.switches, switches_before + 2, "one pair per flush");
         assert_eq!(kernel.pool.available(), before + 1, "free ran in dom0");
@@ -826,7 +857,8 @@ mod tests {
         let machine_addr = (t.entry.pfn * PAGE_SIZE + t.offset) as u32;
         assert_eq!(r, machine_addr, "hypervisor-computed translation");
         // dom0's flush execution recomputes the identical value.
-        hs.flush_upcalls(&mut m, &mut kernel, &mut xen).unwrap();
+        hs.flush_upcalls(&mut m, &mut kernel, &mut xen, FlushCause::BurstEnd)
+            .unwrap();
         let done = hs.engine.take_completion(1).unwrap();
         assert_eq!(done.ret, machine_addr, "completion matches provisional");
     }

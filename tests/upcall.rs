@@ -126,7 +126,13 @@ fn completions_of_the_same_routine_stay_fifo() {
                 .unwrap()
             })
             .collect();
-        hs.flush_upcalls(&mut sys.machine, kernel, xen).unwrap();
+        hs.flush_upcalls(
+            &mut sys.machine,
+            kernel,
+            xen,
+            twin_trace::FlushCause::BurstEnd,
+        )
+        .unwrap();
         let completions: Vec<_> = ids
             .iter()
             .map(|id| hs.engine.take_completion(*id).unwrap())
