@@ -1,0 +1,180 @@
+//! Fault sweep: driver quarantine + live recovery under the three
+//! fault classes the paper's §4.5 safety machinery must contain —
+//! wild write (SVM reject), wedged ring (corrupted adapter state
+//! faulting on the next register access) and infinite loop (VINO-style
+//! execution-watchdog budget exhaustion, §4.5.2) — each at two fault
+//! rates (1 and 3 episodes per run).
+//!
+//! Not a paper figure — the paper stops at "the hypervisor survives";
+//! this sweep measures what surviving is worth: recovery latency from
+//! fault detection to device reset, bounded in-flight loss (one burst
+//! per episode on the wire, plus counted queued-upcall and in-flight
+//! discards), and blast radius — sibling NICs' goodput against an
+//! unfaulted control run over the identical closed-loop schedule.
+//! Everything derives from registry deltas (`nic{i}.rx_packets`,
+//! `fault.*`) and the recovery log; with `TWIN_TRACE_OUT` set, each
+//! class additionally exports a chrome trace whose quarantine→recovery
+//! episode renders as an `X` span (CI gates on its presence).
+//!
+//! Both systems run the *same* sabotaged driver source
+//! ([`fault_injected_source`] — the dormant arm-check costs a few
+//! instructions per invocation), so the control differs from the
+//! faulted run only in never arming the payload. The stock six sweep
+//! baselines are untouched: they build the stock driver.
+//!
+//! Acceptance (per point):
+//! * post-recovery goodput on the faulted device ≥ 95% of its
+//!   pre-fault window;
+//! * sibling goodput within 5% of the unfaulted control (zero
+//!   cross-NIC blast radius);
+//! * wire loss bounded by one burst per episode, and total discarded
+//!   in-flight work bounded per episode.
+//!
+//! Besides the human-readable table, the sweep writes
+//! **`BENCH_fault.json`** (workspace root) so CI's bench-regression
+//! gate can track recovery latency against `bench/baseline_fault.json`
+//! (normalized as `recovery_cycles_per_packet` = recovery cycles per
+//! frame of the aborted burst, to ride the existing
+//! `*_cycles_per_packet` gate machinery).
+
+use twin_bench::{banner, packets};
+use twindrivers::measure::{fault_injected_source, measure_fault_recovery, FaultClass, FaultPoint};
+use twindrivers::{Config, ShardPolicy, System, SystemOptions, UpcallMode};
+
+const NICS: usize = 4;
+const BURST: usize = 32;
+/// The faulted device; 0, 2, 3 are the siblings whose goodput must not
+/// move.
+const DEV: u32 = 1;
+/// Everything-on configuration: the quarantine path has the most state
+/// to tear down — NAPI latches, a deferred-upcall ring with a flush
+/// deadline, and grant-mapped zero-copy pools.
+const NAPI_WEIGHT: usize = 8;
+const FLUSH_DEADLINE: u64 = 200_000;
+/// Fault-rate axis: episodes injected per run.
+const EPISODE_SWEEP: [u32; 2] = [1, 3];
+/// Bound on counted in-flight discards per episode: at most one
+/// ring's worth of frames attributed to the dead device plus one
+/// upcall ring of queued entries.
+const DROP_BOUND_PER_EPISODE: u64 = 256;
+
+fn build(class: FaultClass, recovery: bool) -> System {
+    let opts = SystemOptions {
+        driver_source: Some(fault_injected_source(class)),
+        num_nics: NICS,
+        shard: ShardPolicy::FlowHash,
+        zero_copy: true,
+        napi_weight: NAPI_WEIGHT,
+        upcall_mode: UpcallMode::Deferred,
+        upcall_flush_deadline_cycles: Some(FLUSH_DEADLINE),
+        fault_recovery: recovery,
+        // Flight recorder: free when off, zero cycles charged when on —
+        // the sweep numbers are bit-identical either way.
+        tracing: recovery && std::env::var_os("TWIN_TRACE_OUT").is_some(),
+        ..SystemOptions::default()
+    };
+    System::build_with(Config::TwinDrivers, &opts).expect("build system")
+}
+
+fn json_entry(p: &FaultPoint) -> String {
+    format!(
+        concat!(
+            "    {{\"config\": \"{}\", \"profile\": \"{}\", \"mode\": \"ep{}\", ",
+            "\"nics\": {}, \"burst\": {}, ",
+            "\"recovery_cycles_per_packet\": {:.1}, \"recovery_cycles\": {}, ",
+            "\"replayed\": {}, \"dropped\": {}, \"lost_frames\": {}, ",
+            "\"revoked_mappings\": {}, \"pre_delivered\": {}, \"post_delivered\": {}, ",
+            "\"sibling_delivered\": {}, \"sibling_control\": {}, ",
+            "\"recovery_pct\": {:.1}, \"sibling_pct\": {:.1}}}"
+        ),
+        Config::TwinDrivers.label(),
+        p.class.label(),
+        p.episodes,
+        p.nics,
+        p.burst,
+        p.recovery_cycles as f64 / p.episodes.max(1) as f64 / BURST as f64,
+        p.recovery_cycles,
+        p.replayed,
+        p.dropped,
+        p.lost_frames,
+        p.revoked_mappings,
+        p.pre_delivered,
+        p.post_delivered,
+        p.sibling_delivered,
+        p.sibling_control,
+        p.recovery_frac() * 100.0,
+        p.sibling_frac() * 100.0,
+    )
+}
+
+fn main() {
+    banner(
+        "Fault sweep — driver quarantine + live recovery per fault class",
+        "\u{a7}4.5 safety (SVM reject, wedged state, \u{a7}4.5.2 watchdog); acceptance: recovery >= 95% pre-fault goodput, siblings within 5% of unfaulted control, loss bounded per episode",
+    );
+    let pkts = packets();
+    // Window length per phase: enough rounds that one round's quantum
+    // effects don't dominate the pre/post goodput comparison.
+    let rounds = (pkts / (BURST * NICS) as u64).max(2);
+    println!("  schedule: {rounds} rounds x {NICS} devices x burst {BURST} per window, faulting dev {DEV}\n");
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut failed = false;
+    for class in FaultClass::ALL {
+        for &episodes in &EPISODE_SWEEP {
+            let mut sys = build(class, true);
+            let mut control = build(class, false);
+            let p =
+                measure_fault_recovery(&mut sys, &mut control, DEV, class, rounds, BURST, episodes)
+                    .expect("fault point");
+            println!("    {}", p.row());
+            if p.recovery_frac() < 0.95 {
+                eprintln!(
+                    "  ACCEPTANCE FAILED: {class} ep{episodes}: post-recovery goodput {:.1}% of pre-fault < 95%",
+                    p.recovery_frac() * 100.0
+                );
+                failed = true;
+            }
+            if !(0.95..=1.05).contains(&p.sibling_frac()) {
+                eprintln!(
+                    "  ACCEPTANCE FAILED: {class} ep{episodes}: sibling goodput {:.1}% of unfaulted control outside 95..105%",
+                    p.sibling_frac() * 100.0
+                );
+                failed = true;
+            }
+            if p.lost_frames > episodes as u64 * BURST as u64 {
+                eprintln!(
+                    "  ACCEPTANCE FAILED: {class} ep{episodes}: wire loss {} > one burst per episode ({})",
+                    p.lost_frames,
+                    episodes as u64 * BURST as u64
+                );
+                failed = true;
+            }
+            if p.dropped > episodes as u64 * DROP_BOUND_PER_EPISODE {
+                eprintln!(
+                    "  ACCEPTANCE FAILED: {class} ep{episodes}: {} in-flight discards > bound {}",
+                    p.dropped,
+                    episodes as u64 * DROP_BOUND_PER_EPISODE
+                );
+                failed = true;
+            }
+            entries.push(json_entry(&p));
+        }
+        println!();
+    }
+
+    let json = format!(
+        "{{\n  \"packets\": {},\n  \"policy\": \"flow-hash\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+        pkts,
+        entries.join(",\n"),
+    );
+    // Anchor at the workspace root regardless of cargo's bench cwd.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fault.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("  wrote BENCH_fault.json ({} sweep points)", entries.len()),
+        Err(e) => eprintln!("  could not write {out}: {e}"),
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

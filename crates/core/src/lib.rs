@@ -142,13 +142,15 @@ pub mod system;
 
 pub use iommu::Iommu;
 pub use measure::{
-    measure_aggregate_throughput, measure_rx_autotuned, measure_rx_livelock, percentile,
-    throughput, upcall_latency, AggregateThroughput, AutotunedRx, Breakdown, BurstMeasurement,
+    fault_injected_source, measure_aggregate_throughput, measure_fault_recovery,
+    measure_rx_autotuned, measure_rx_livelock, percentile, throughput, upcall_latency,
+    AggregateThroughput, AutotunedRx, Breakdown, BurstMeasurement, FaultClass, FaultPoint,
     LatencyStats, LivelockPoint, LoadProfile, ModeratedRx, OverloadProfile, RxPhase,
     SampleReservoir, Throughput, CPU_HZ, TESTBED_NICS, VICTIM_FRAMES_PER_BURST,
 };
 pub use system::{
-    peer_mac, Config, ShardPolicy, System, SystemError, SystemOptions, UpcallMode, World, MAX_BURST,
+    peer_mac, Config, RecoveryReport, ShardPolicy, System, SystemError, SystemOptions, UpcallMode,
+    World, MAX_BURST,
 };
 
 // Re-export the substrate crates so downstream users (workloads, benches,

@@ -810,6 +810,351 @@ pub fn measure_aggregate_throughput(
     })
 }
 
+/// A driver-fault class the fault sweep injects — the three failure
+/// modes the paper's §4.5 safety machinery must contain: an SVM-rejected
+/// illegal store, corrupted driver state that faults on the next
+/// register access, and a runaway loop reclaimed by the VINO-style
+/// execution watchdog.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Wild store into the hypervisor address space: SVM rejects the
+    /// access and the invocation aborts at the faulting instruction.
+    WildWrite,
+    /// The driver corrupts its own adapter slot (`hw_addr` ← 1), so the
+    /// very next register access dereferences garbage and faults — the
+    /// wedged-ring shape: state is bad, not the current instruction.
+    WedgedRing,
+    /// Runaway spin: no illegal access at all; only the execution
+    /// watchdog's cycle budget reclaims the CPU (paper §4.5.2).
+    InfiniteLoop,
+}
+
+impl FaultClass {
+    /// All three, in sweep order.
+    pub const ALL: [FaultClass; 3] = [
+        FaultClass::WildWrite,
+        FaultClass::WedgedRing,
+        FaultClass::InfiniteLoop,
+    ];
+
+    /// Table/JSON label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::WildWrite => "wild_write",
+            FaultClass::WedgedRing => "wedged_ring",
+            FaultClass::InfiniteLoop => "infinite_loop",
+        }
+    }
+
+    /// The value [`System::arm_driver_fault`] writes into the driver's
+    /// `fault_arm` word to fault device `dev`: the payload compares it
+    /// against the active adapter slot's index + 1, so only an
+    /// invocation *on behalf of that device* trips — other devices'
+    /// invocations in the same pass sail past the armed payload.
+    pub fn arm_value(self, dev: u32) -> u32 {
+        dev + 1
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The five shared driver bodies every `*_dev` wrapper tail-jumps into
+/// after selecting `cur_adapter` — a payload placed right after each
+/// label runs on every hot-path invocation regardless of which device
+/// (or which entry wrapper) triggered it.
+const FAULT_SITES: [&str; 5] = [
+    "e1000_xmit_frame:",
+    "e1000_xmit_batch:",
+    "e1000_intr:",
+    "e1000_poll_rx_budget:",
+    "e1000_poll_rx_batch:",
+];
+
+/// Builds a driver source with a **device-conditional, one-shot**
+/// fault of the given class injected into every hot-path entry
+/// ([`FAULT_SITES`]): each invocation loads the `fault_arm` data word,
+/// skips ahead when it is zero or names a different device (the word
+/// holds faulted-device-index + 1, compared against the active
+/// `cur_adapter` slot), and otherwise disarms it (the store persists
+/// even though the invocation is about to die — abort stops execution,
+/// it does not roll memory back) and executes the fault body. Arm it
+/// at runtime with [`System::arm_driver_fault`]; exactly one
+/// invocation on behalf of the named device faults — sibling devices'
+/// invocations in the same pass are untouched — and recovery resumes
+/// with the payload dormant.
+///
+/// The unarmed check is a handful of extra instructions per invocation,
+/// so cycle figures from a sabotaged build are *not* comparable with
+/// the stock driver — fault sweeps must compare against a control
+/// system built from the **same** source with the fault never armed.
+pub fn fault_injected_source(class: FaultClass) -> String {
+    let mut src = twin_kernel::e1000::source();
+    for (i, site) in FAULT_SITES.iter().enumerate() {
+        let body = match class {
+            FaultClass::WildWrite => {
+                "    movl $0xf0000100, %eax\n    movl $0x41414141, (%eax)".to_string()
+            }
+            FaultClass::WedgedRing => "    movl cur_adapter, %eax\n    movl $1, (%eax)".to_string(),
+            FaultClass::InfiniteLoop => {
+                format!(".Lfault_spin_{i}:\n    jmp .Lfault_spin_{i}")
+            }
+        };
+        let payload = format!(
+            "{site}\n    pushl %eax\n    pushl %ecx\n    movl fault_arm, %eax\n    \
+             cmpl $0, %eax\n    je .Lfault_skip_{i}\n    movl cur_adapter, %ecx\n    \
+             subl $adapter, %ecx\n    shrl $7, %ecx\n    addl $1, %ecx\n    \
+             cmpl %ecx, %eax\n    jne .Lfault_skip_{i}\n    movl $0, %ecx\n    \
+             movl %ecx, fault_arm\n{body}\n.Lfault_skip_{i}:\n    popl %ecx\n    popl %eax"
+        );
+        src = src.replace(site, &payload);
+    }
+    // The arm word lives with the driver's other data, zero (dormant)
+    // until a harness writes it.
+    src.replace(
+        "    .globl cur_adapter",
+        "    .globl fault_arm\nfault_arm:\n    .long 0\n    .globl cur_adapter",
+    )
+}
+
+/// One point of the fault sweep: a fault class injected into one device
+/// of a multi-NIC system, with recovery latency, in-flight loss
+/// accounting, and blast radius measured purely from registry deltas
+/// (`nic{i}.rx_packets`, `fault.*`) plus the recovery log.
+#[derive(Clone, Debug)]
+pub struct FaultPoint {
+    /// Fault class injected.
+    pub class: FaultClass,
+    /// NICs in the system.
+    pub nics: u32,
+    /// The faulted device.
+    pub dev: u32,
+    /// Frames offered per device per round.
+    pub burst: usize,
+    /// Fault episodes injected (the sweep's fault-rate axis).
+    pub episodes: u32,
+    /// Mean cycles from fault detection to device reset completion.
+    pub recovery_cycles: u64,
+    /// Queued deferred upcalls replayed natively during teardown
+    /// (frees/unlocks the faulted driver owed the kernel).
+    pub replayed: u64,
+    /// In-flight work discarded with accounting (queued upcalls with no
+    /// replay policy + in-flight frames attributed to the dead device).
+    pub dropped: u64,
+    /// Grant mappings revoked across all episodes (zero-copy pools the
+    /// faulted image had cached).
+    pub revoked_mappings: u64,
+    /// Frames the faulted device delivered in the pre-fault window.
+    pub pre_delivered: u64,
+    /// Frames it delivered in an equal window after recovery.
+    pub post_delivered: u64,
+    /// Frames sibling devices delivered from the first fault onward.
+    pub sibling_delivered: u64,
+    /// Sibling frames over the same schedule on the unfaulted control.
+    pub sibling_control: u64,
+    /// Frames offered to the faulted device in aborted invocations
+    /// (upper bound on wire loss per episode: one burst).
+    pub lost_frames: u64,
+}
+
+impl FaultPoint {
+    /// Post-recovery goodput as a fraction of pre-fault goodput
+    /// (acceptance: ≥ 0.95).
+    pub fn recovery_frac(&self) -> f64 {
+        self.post_delivered as f64 / self.pre_delivered.max(1) as f64
+    }
+
+    /// Sibling goodput as a fraction of the unfaulted control run
+    /// (acceptance: within 5% of 1.0 — zero cross-NIC blast radius).
+    pub fn sibling_frac(&self) -> f64 {
+        self.sibling_delivered as f64 / self.sibling_control.max(1) as f64
+    }
+
+    /// One sweep-table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>13}  episodes {:>2}  recovery {:>9} cyc   dev{} {:>4}->{:<4} ({:>5.1}%)   siblings {:>6.1}%   replayed {:>3}  dropped {:>3}  lost {:>3}",
+            self.class.label(),
+            self.episodes,
+            self.recovery_cycles,
+            self.dev,
+            self.pre_delivered,
+            self.post_delivered,
+            self.recovery_frac() * 100.0,
+            self.sibling_frac() * 100.0,
+            self.replayed,
+            self.dropped,
+            self.lost_frames,
+        )
+    }
+}
+
+/// Picks a flow id that [`ShardPolicy::FlowHash`] maps to `dev` (the
+/// same multiplicative hash, mirrored), distinct per `salt` so repeated
+/// windows can use fresh sequence spaces without colliding flows.
+fn flow_for_dev(dev: u32, nics: u32, salt: u32) -> u32 {
+    (0u32..)
+        .map(|i| 0x5000 + salt * 1009 + i)
+        .find(|f| (f.wrapping_mul(2_654_435_761) >> 16) % nics.max(1) == dev)
+        .expect("some flow hashes to every device")
+}
+
+/// Measures one fault-recovery episode set: identical closed-loop
+/// per-device receive schedules run on `sys` (fault class armed
+/// `episodes` times against device `dev`) and `control` (same sabotaged
+/// source, never armed — see [`fault_injected_source`] for why the
+/// control cannot be the stock driver). Both systems must be built with
+/// [`ShardPolicy::FlowHash`] and `sys` with `fault_recovery: true`.
+///
+/// Schedule: warm-up, a `rounds`-round pre-fault window, `episodes` ×
+/// (one faulted round + one recovery round), then a `rounds`-round
+/// post-recovery window. Each round offers `burst` frames to every
+/// device through flows that hash to it. Per-device goodput comes from
+/// `nic{i}.rx_packets` registry deltas; replay/drop accounting from the
+/// `fault.*` counters and the recovery log.
+///
+/// # Errors
+///
+/// Propagates faults; [`SystemError::Build`] if the armed fault never
+/// triggers or recovery does not occur (a broken harness must fail
+/// loudly, not report vacuous goodput).
+pub fn measure_fault_recovery(
+    sys: &mut System,
+    control: &mut System,
+    dev: u32,
+    class: FaultClass,
+    rounds: u64,
+    burst: usize,
+    episodes: u32,
+) -> Result<FaultPoint, SystemError> {
+    let nics = sys.nic_count() as u32;
+    let mut seqs: Vec<u64> = vec![0; nics as usize];
+    let frames_for = |d: u32, burst: usize, seqs: &mut Vec<u64>| -> Vec<Frame> {
+        let flow = flow_for_dev(d, nics, 0);
+        (0..burst)
+            .map(|_| {
+                let seq = seqs[d as usize];
+                seqs[d as usize] += 1;
+                Frame {
+                    dst: MacAddr::for_guest(1),
+                    src: MacAddr([0x02, 0, 0, 0, 0, 0xfa]),
+                    ethertype: EtherType::Ipv4,
+                    payload_len: MTU,
+                    flow,
+                    seq,
+                }
+            })
+            .collect()
+    };
+    // Closed-loop warm-up: fill every ring's buffer-swap cycle on both
+    // systems so the measured windows see steady state.
+    for _ in 0..4 {
+        for d in 0..nics {
+            let frames = frames_for(d, burst, &mut seqs);
+            sys.receive_burst(&frames)?;
+            control.receive_burst(&frames)?;
+        }
+    }
+
+    let m0f = sys.metrics();
+    for _ in 0..rounds {
+        for d in 0..nics {
+            let frames = frames_for(d, burst, &mut seqs);
+            sys.receive_burst(&frames)?;
+            control.receive_burst(&frames)?;
+        }
+    }
+    let (m1f, m1c) = (sys.metrics(), control.metrics());
+
+    // Fault episodes: arm, run one round (the target burst dies inside
+    // the driver — whole burst counted lost, the bounded per-episode
+    // loss), then one recovery round (the target's next invocation
+    // finds the device quarantined, resets it, and serves). The control
+    // runs the identical schedule unarmed.
+    let mut lost = 0u64;
+    for _ in 0..episodes {
+        for round in 0..2 {
+            for d in 0..nics {
+                let frames = frames_for(d, burst, &mut seqs);
+                control.receive_burst(&frames)?;
+                if round == 0 && d == dev {
+                    // Device-conditional arming: the one-shot payload
+                    // fires on the target's next invocation only;
+                    // sibling invocations sail past it.
+                    sys.arm_driver_fault(class.arm_value(dev))?;
+                    match sys.receive_burst(&frames) {
+                        Err(SystemError::DriverAborted(_)) => lost += frames.len() as u64,
+                        Ok(_) => {
+                            return Err(SystemError::Build(format!(
+                                "armed {class} fault never triggered on dev {dev}"
+                            )))
+                        }
+                        Err(e) => return Err(e),
+                    }
+                } else {
+                    sys.receive_burst(&frames)?;
+                }
+            }
+        }
+    }
+    let m2f = sys.metrics();
+    if sys.recovery_log().len() != episodes as usize {
+        return Err(SystemError::Build(format!(
+            "{} recoveries logged, expected {episodes}",
+            sys.recovery_log().len()
+        )));
+    }
+
+    for _ in 0..rounds {
+        for d in 0..nics {
+            let frames = frames_for(d, burst, &mut seqs);
+            sys.receive_burst(&frames)?;
+            control.receive_burst(&frames)?;
+        }
+    }
+    let (m3f, m3c) = (sys.metrics(), control.metrics());
+
+    let rx = |d: &twin_trace::MetricSet, i: u32| d.counter(&format!("nic{i}.rx_packets"));
+    let siblings = |hi: &twin_trace::MetricSet, lo: &twin_trace::MetricSet| -> u64 {
+        let delta = hi.delta_since(lo);
+        (0..nics).filter(|i| *i != dev).map(|i| rx(&delta, i)).sum()
+    };
+    let fault_span = m3f.delta_since(&m0f);
+    let recovery_cycles = {
+        let log = sys.recovery_log();
+        log.iter()
+            .map(|r| r.recovered_at - r.quarantined_at)
+            .sum::<u64>()
+            / log.len().max(1) as u64
+    };
+    // Flight-recorder export: a no-op unless TWIN_TRACE_OUT names a
+    // directory (and empty unless the system was built with tracing).
+    sys.export_trace(&format!("fault_{}", class.label()));
+    Ok(FaultPoint {
+        class,
+        nics,
+        dev,
+        burst,
+        episodes,
+        recovery_cycles,
+        replayed: fault_span.counter("fault.inflight_replayed"),
+        dropped: fault_span.counter("fault.inflight_dropped"),
+        revoked_mappings: sys
+            .recovery_log()
+            .iter()
+            .map(|r| r.revoked_mappings as u64)
+            .sum(),
+        pre_delivered: rx(&m1f.delta_since(&m0f), dev),
+        post_delivered: rx(&m3f.delta_since(&m2f), dev),
+        sibling_delivered: siblings(&m3f, &m1f),
+        sibling_control: siblings(&m3c, &m1c),
+        lost_frames: lost,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -266,6 +266,17 @@ pub struct SystemOptions {
     /// whether the event ring fills. `false` (the default) records
     /// nothing. Can also be toggled later with [`System::set_tracing`].
     pub tracing: bool,
+    /// Driver fault quarantine + live recovery (TwinDrivers only): when
+    /// a hypervisor-driver call faults (SVM illegal access, wedged-ring
+    /// dereference, or execution-watchdog budget exhaustion), quarantine
+    /// the faulted *device* instead of sticky-aborting the shared image
+    /// — tear down its leaked state (cached grants, queued deferred
+    /// upcalls, NAPI/moderation latches, ring skbs, watchdog timer) with
+    /// bounded in-flight accounting, then reset and resume it on the
+    /// next call while sibling NICs keep serving. `false` (the default)
+    /// keeps the paper's §4.5 sticky abort (now leak-free) and is
+    /// bit-exact with every prior baseline on fault-free runs.
+    pub fault_recovery: bool,
 }
 
 impl Default for SystemOptions {
@@ -292,8 +303,50 @@ impl Default for SystemOptions {
             rx_backlog_watermark: None,
             rx_queue_cap: None,
             tracing: false,
+            fault_recovery: false,
         }
     }
+}
+
+/// One quarantine episode in progress: the fault was detected and the
+/// device torn down, but [`System::recover_device`] has not run yet.
+#[derive(Clone, Debug)]
+struct QuarantineEpisode {
+    /// Abort reason from [`twin_xen::hyperdrv::abort_reason_for`].
+    reason: String,
+    /// Virtual-clock stamp at quarantine entry.
+    at: u64,
+    /// Queued deferred upcalls replayed natively during teardown.
+    replayed: u32,
+    /// Upcalls discarded plus in-flight frames lost — the bounded loss.
+    dropped: u32,
+    /// Domains whose zero-copy grants were revoked, owed a re-grant.
+    revoked_doms: Vec<u32>,
+    /// Grant mappings revoked (each paid its `grant_unmap`).
+    revoked_mappings: usize,
+}
+
+/// Outcome of one fault → quarantine → recovery episode, as returned by
+/// [`System::recover_device`] and kept in [`System::recovery_log`]. All
+/// stamps are virtual-clock cycles, so `recovered_at - quarantined_at`
+/// is the recovery latency the fault sweep measures.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// The recovered device.
+    pub dev: u32,
+    /// The abort reason that triggered the episode.
+    pub reason: String,
+    /// Virtual-clock stamp at quarantine entry.
+    pub quarantined_at: u64,
+    /// Virtual-clock stamp when the device re-entered service.
+    pub recovered_at: u64,
+    /// Queued deferred upcalls replayed natively during teardown.
+    pub replayed: u32,
+    /// Upcalls discarded plus in-flight frames lost — the bounded,
+    /// counted loss for this episode.
+    pub dropped: u32,
+    /// Grant mappings revoked at quarantine (re-granted on recovery).
+    pub revoked_mappings: usize,
 }
 
 /// Errors surfaced by system construction or packet operations.
@@ -546,6 +599,16 @@ pub struct System {
     /// livelock acceptance is about. Off (and allocation-free) by
     /// default.
     guest_latency: Option<BTreeMap<u32, crate::measure::SampleReservoir>>,
+    /// Per-device quarantine + live recovery
+    /// ([`SystemOptions::fault_recovery`]; `false` keeps the sticky
+    /// abort).
+    fault_recovery: bool,
+    /// Episodes between fault detection and recovery, keyed by device.
+    /// Empty on fault-free runs — allocates nothing.
+    quarantine: BTreeMap<u32, QuarantineEpisode>,
+    /// Completed recovery reports in episode order — pure bookkeeping
+    /// (never charged), the fault sweep's latency source.
+    recovery_log: Vec<RecoveryReport>,
     dom0: SpaceId,
     dom0_stack_top: u64,
     guest_tx_frag: u64,
@@ -775,6 +838,9 @@ impl System {
             rx_early_drops: BTreeMap::new(),
             rx_queue_cap: opts.rx_queue_cap,
             guest_latency: None,
+            fault_recovery: opts.fault_recovery,
+            quarantine: BTreeMap::new(),
+            recovery_log: Vec::new(),
             dom0,
             dom0_stack_top,
             guest_tx_frag: 0,
@@ -835,6 +901,14 @@ impl System {
         if opts.napi_weight > 0 && config != Config::TwinDrivers {
             return Err(SystemError::Build(
                 "napi_weight requires the TwinDrivers configuration".into(),
+            ));
+        }
+
+        // Quarantine + live recovery only makes sense where a
+        // hypervisor driver can fault.
+        if opts.fault_recovery && config != Config::TwinDrivers {
+            return Err(SystemError::Build(
+                "fault_recovery requires the TwinDrivers configuration".into(),
             ));
         }
 
@@ -938,12 +1012,28 @@ impl System {
 
     /// Runs a function of the hypervisor driver instance, from the guest
     /// context, in hypervisor mode — no address-space switch, the core of
-    /// the paper's performance claim.
-    fn call_hyperdrv(&mut self, entry: u64, args: &[u32], budget: u64) -> Result<u32, SystemError> {
+    /// the paper's performance claim. `dev` is the device the call
+    /// drives: a fault is attributed to it, and in fault-recovery mode
+    /// ([`SystemOptions::fault_recovery`]) a call toward a quarantined
+    /// device first runs [`System::recover_device`] so traffic resumes
+    /// transparently after the one errored invocation.
+    fn call_hyperdrv(
+        &mut self,
+        entry: u64,
+        args: &[u32],
+        budget: u64,
+        dev: u32,
+    ) -> Result<u32, SystemError> {
         let hyp = self.hyperdrv.as_ref().expect("hypervisor driver");
         if let Some(reason) = &hyp.aborted {
             return Err(SystemError::DriverAborted(reason.clone()));
         }
+        if hyp.is_quarantined(dev) {
+            // Live recovery: reset the device and fall through into the
+            // requested call on the rebuilt adapter slot.
+            self.recover_device(dev)?;
+        }
+        let hyp = self.hyperdrv.as_ref().unwrap();
         let gid = self.guest.expect("guest");
         let gspace = self.world.xen.as_ref().unwrap().domain(gid).space;
         let stack_top = hyp.stack_top;
@@ -960,14 +1050,305 @@ impl System {
         match r {
             Ok(v) => Ok(v),
             Err(fault) => {
-                // SVM caught something (or the watchdog fired): abort the
-                // driver; the hypervisor itself survives (paper §4.5).
+                // SVM caught something (or the watchdog fired): the
+                // hypervisor itself survives (paper §4.5).
                 let reason = twin_xen::hyperdrv::abort_reason_for(&fault);
-                self.hyperdrv.as_mut().unwrap().abort(reason.clone());
                 self.machine.meter.count_event("driver_abort");
+                if self.machine.trace.enabled() {
+                    self.machine.trace_event(TraceEvent::FaultDetected {
+                        dev,
+                        reason: reason.clone(),
+                    });
+                }
+                if self.fault_recovery {
+                    // Quarantine the faulted device, not the image:
+                    // siblings keep serving through the shared driver.
+                    self.hyperdrv
+                        .as_mut()
+                        .unwrap()
+                        .quarantine_device(dev, reason.clone());
+                    self.machine.meter.count_event("quarantine_enter");
+                    if self.machine.trace.enabled() {
+                        self.machine
+                            .trace_event(TraceEvent::QuarantineEnter { dev });
+                    }
+                    let at = self.machine.meter.now();
+                    let (replayed, dropped, revoked_doms, revoked_mappings) =
+                        self.fault_teardown(dev)?;
+                    if self.machine.trace.enabled() {
+                        self.machine.trace_event(TraceEvent::InflightAccounted {
+                            dev,
+                            replayed,
+                            dropped,
+                        });
+                    }
+                    self.quarantine.insert(
+                        dev,
+                        QuarantineEpisode {
+                            reason: reason.clone(),
+                            at,
+                            replayed,
+                            dropped,
+                            revoked_doms,
+                            revoked_mappings,
+                        },
+                    );
+                } else {
+                    // Sticky abort (the paper's §4.5 endpoint) — but
+                    // "safe" must not mean "leaks": every device's
+                    // grants, queued upcalls, poll latches and watchdogs
+                    // are torn down, with one aggregated accounting
+                    // event for the episode.
+                    self.hyperdrv.as_mut().unwrap().abort(reason.clone());
+                    let (mut replayed, mut dropped) = (0u32, 0u32);
+                    for d in 0..self.world.nics.len() as u32 {
+                        let (r, dr, _, _) = self.fault_teardown(d)?;
+                        replayed += r;
+                        dropped += dr;
+                    }
+                    if self.machine.trace.enabled() {
+                        self.machine.trace_event(TraceEvent::InflightAccounted {
+                            dev,
+                            replayed,
+                            dropped,
+                        });
+                    }
+                }
                 Err(SystemError::DriverAborted(reason))
             }
         }
+    }
+
+    /// Tears down the state a faulted driver leaves behind for one
+    /// device: drains the deferred-upcall ring (replaying restorative
+    /// frees/unlocks natively, discarding the rest — counted), disarms
+    /// the flush-deadline, drops the device's in-flight frames, frees
+    /// its ring-held skbs back to their pools (pool conservation across
+    /// the reset), closes an open NAPI poll span, clears moderation
+    /// latches, revokes every cached zero-copy grant (the faulted
+    /// *image* touched all of them — the trust decision is per driver,
+    /// re-granted per device on recovery), and disarms the device's
+    /// watchdog so the wheel cannot fire a handler over the corrupted
+    /// adapter slot. Returns `(replayed, dropped, revoked_doms,
+    /// revoked_mappings)`.
+    fn fault_teardown(&mut self, dev: u32) -> Result<(u32, u32, Vec<u32>, usize), SystemError> {
+        let mut replayed = 0u32;
+        let mut dropped = 0u32;
+        // 1. The deferred-upcall ring: a queued free or unlock is state
+        // dom0 is owed regardless of which device queued it — replay
+        // those natively (charged as Xen cleanup work). Anything else is
+        // discarded and counted. `drain` also disarms the flush-deadline
+        // timer, so an idle system stops re-arming toward a dead ring.
+        let drained = self
+            .world
+            .hyper
+            .as_mut()
+            .map(|hs| hs.engine.drain())
+            .unwrap_or_default();
+        for q in &drained {
+            match q.routine.as_str() {
+                "dev_kfree_skb_any" | "dev_kfree_skb" | "kfree_skb" => {
+                    let skb = q.args.first().copied().unwrap_or(0);
+                    if skb != 0 {
+                        let m = &mut self.machine;
+                        m.meter.charge_to(CostDomain::Xen, m.cost.skb_alloc / 2);
+                        self.world
+                            .kernel
+                            .free_skb(&self.machine, SkBuff(u64::from(skb)))?;
+                    }
+                    replayed += 1;
+                    self.machine.meter.count_event("upcall_replayed");
+                }
+                "spin_unlock_irqrestore" => {
+                    let lock = q.args.first().copied().unwrap_or(0);
+                    if lock != 0 {
+                        let m = &mut self.machine;
+                        m.meter.charge_to(CostDomain::Xen, m.cost.spinlock);
+                        self.machine
+                            .write_u32(self.dom0, ExecMode::Guest, u64::from(lock), 0)?;
+                    }
+                    replayed += 1;
+                    self.machine.meter.count_event("upcall_replayed");
+                }
+                _ => {
+                    dropped += 1;
+                    self.machine.meter.count_event("upcall_discarded");
+                }
+            }
+        }
+        if let Some(hs) = self.world.hyper.as_mut() {
+            hs.engine.prune_stale_completions();
+        }
+        // 2. In-flight frames on this device: their delivery stamps will
+        // never match — bounded, counted loss.
+        let before = self.rx_inflight.len();
+        let flow_dev = &self.rx_flow_dev;
+        self.rx_inflight
+            .retain(|(flow, _), _| flow_dev.get(flow).copied().unwrap_or(0) != dev);
+        let lost = (before - self.rx_inflight.len()) as u32;
+        dropped += lost;
+        for _ in 0..lost {
+            self.machine.meter.count_event("inflight_lost");
+        }
+        // 3. Ring-held skbs: the reset re-probes the adapter slot and
+        // re-fills both rings, so buffers the old rings hold must go
+        // back to their pools first or every episode leaks a ring's
+        // worth of pool. `e1000_clean_tx` nulls entries it frees, so
+        // every non-null slot is live exactly once.
+        let slot = self
+            .driver
+            .data_symbol("adapter")
+            .map(|a| a + u64::from(dev) * e1000::ADAPTER_STRIDE);
+        if let Some(slot) = slot {
+            for &arr_off in &[e1000::adapter::TX_SKB, e1000::adapter::RX_SKB] {
+                let arr = self
+                    .machine
+                    .read_u32(self.dom0, ExecMode::Guest, slot + arr_off)?;
+                if arr == 0 {
+                    continue;
+                }
+                for i in 0..e1000::RING_SIZE {
+                    let p = u64::from(arr) + u64::from(i) * 4;
+                    let skb = self.machine.read_u32(self.dom0, ExecMode::Guest, p)?;
+                    if skb != 0 {
+                        self.machine.write_u32(self.dom0, ExecMode::Guest, p, 0)?;
+                        self.world
+                            .kernel
+                            .free_skb(&self.machine, SkBuff(u64::from(skb)))?;
+                    }
+                }
+            }
+        }
+        // 4. NAPI: close an open poll span (the residency metric and
+        // the chrome export both need the episode bounded); the IRQ
+        // stays masked until the reset's `e1000_open` re-enables `IMS`.
+        if self.napi_weight > 0 && self.poll_mode.get(dev as usize).copied().unwrap_or(false) {
+            self.poll_mode[dev as usize] = false;
+            let now = self.machine.meter.now();
+            if let Some(entered) = self.poll_entered_at[dev as usize].take() {
+                self.poll_cycles[dev as usize] += now.saturating_sub(entered);
+            }
+            self.machine.meter.count_event("napi_exit");
+            if self.machine.trace.enabled() {
+                self.machine.trace_event(TraceEvent::NapiComplete { dev });
+            }
+        }
+        // 5. Moderation latches: a quarantined device owes no delivery.
+        self.moderated_pending.retain(|d| *d != dev);
+        if let Some(anchor) = self.gate_anchors.get_mut(dev as usize) {
+            *anchor = None;
+        }
+        // 6. Zero-copy grants: the faulted image cached mappings for
+        // every granted pool, so all of them outlive the trust decision
+        // unless revoked (each pays its `grant_unmap`). Recovery
+        // re-grants, reusing the still-mapped pool pages.
+        let revoked_doms: Vec<u32> = self.zc_granted.iter().copied().collect();
+        let mut revoked_mappings = 0usize;
+        for d in &revoked_doms {
+            revoked_mappings += self.revoke_zero_copy_grants(DomId(*d));
+        }
+        // 7. The device's watchdog: its handler would run the dom0
+        // instance over the corrupted adapter slot at the next wheel
+        // service. Re-probe re-arms it via `mod_timer`.
+        if let Some(wd) = self.driver.entry("e1000_watchdog") {
+            self.world
+                .kernel
+                .timers
+                .disarm_where(|t| t.handler == wd && t.data == u64::from(dev));
+        }
+        Ok((replayed, dropped, revoked_doms, revoked_mappings))
+    }
+
+    /// Resets and resumes a quarantined device: re-runs `e1000_probe`
+    /// (adapter-slot reconstruction, `request_irq`, watchdog re-arm) and
+    /// `e1000_open` (ring reconstruction, `IMS` re-enable) through the
+    /// dom0 instance — charged, so recovery latency is real virtual
+    /// time — then re-grants the revoked zero-copy pools and releases
+    /// the quarantine. Called automatically by the next driver
+    /// invocation toward the device when
+    /// [`SystemOptions::fault_recovery`] is set; callable directly for
+    /// eager recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Build`] if the device is not quarantined;
+    /// propagates faults from the reset itself.
+    pub fn recover_device(&mut self, dev: u32) -> Result<RecoveryReport, SystemError> {
+        let Some(ep) = self.quarantine.remove(&dev) else {
+            return Err(SystemError::Build(format!(
+                "device {dev} is not quarantined"
+            )));
+        };
+        let probe = self.driver.entry("e1000_probe").unwrap();
+        self.call_dom0(probe, &[dev], 50_000_000)?;
+        // `register_netdev` pushes: the re-probe's netdev is the newest.
+        let netdev = *self.world.kernel.registered_netdevs.last().unwrap();
+        self.netdevs[dev as usize] = netdev;
+        if dev == 0 {
+            self.netdev = netdev;
+        }
+        let open = self.driver.entry("e1000_open").unwrap();
+        self.call_dom0(open, &[netdev as u32], 200_000_000)?;
+        self.machine.meter.count_event("device_reset");
+        if self.machine.trace.enabled() {
+            self.machine.trace_event(TraceEvent::DeviceReset { dev });
+        }
+        for d in &ep.revoked_doms {
+            self.grant_zero_copy_pool(DomId(*d))?;
+        }
+        self.hyperdrv
+            .as_mut()
+            .expect("quarantine implies a hypervisor driver")
+            .release_device(dev);
+        self.machine.meter.count_event("quarantine_exit");
+        if self.machine.trace.enabled() {
+            self.machine.trace_event(TraceEvent::QuarantineExit { dev });
+        }
+        let report = RecoveryReport {
+            dev,
+            reason: ep.reason,
+            quarantined_at: ep.at,
+            recovered_at: self.machine.meter.now(),
+            replayed: ep.replayed,
+            dropped: ep.dropped,
+            revoked_mappings: ep.revoked_mappings,
+        };
+        self.recovery_log.push(report.clone());
+        Ok(report)
+    }
+
+    /// Devices currently quarantined (empty on fault-free runs and in
+    /// sticky-abort mode).
+    pub fn quarantined_devices(&self) -> Vec<u32> {
+        self.quarantine.keys().copied().collect()
+    }
+
+    /// Arms the driver's fault-injection hook: writes `value` into the
+    /// driver's `fault_arm` data word (present only in sources built by
+    /// [`crate::measure::fault_injected_source`]). The next fast-path
+    /// invocation of the hypervisor instance *on behalf of device
+    /// `value - 1`* sees the match, disarms the word (one-shot) and
+    /// executes its fault body; invocations for other devices sail
+    /// past. Use [`crate::measure::FaultClass::arm_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Build`] when the loaded driver has no `fault_arm`
+    /// hook (i.e. it was built from the stock source).
+    pub fn arm_driver_fault(&mut self, value: u32) -> Result<(), SystemError> {
+        let addr = self.driver.data_symbol("fault_arm").ok_or_else(|| {
+            SystemError::Build(
+                "driver has no fault_arm hook (build with fault_injected_source)".into(),
+            )
+        })?;
+        self.machine
+            .write_u32(self.dom0, ExecMode::Guest, addr, value)
+            .map_err(SystemError::Fault)
+    }
+
+    /// Completed fault → quarantine → recovery episodes, in order.
+    pub fn recovery_log(&self) -> &[RecoveryReport] {
+        &self.recovery_log
     }
 
     /// Calls a hypervisor support routine directly (the paravirtual glue
@@ -1592,7 +1973,7 @@ impl System {
             self.machine.meter.push_domain(CostDomain::Driver);
             let r = if hypervisor {
                 let xmit = self.hyperdrv.as_ref().unwrap().entry(entry).unwrap();
-                self.call_hyperdrv(xmit, &args, 2_000_000)
+                self.call_hyperdrv(xmit, &args, 2_000_000, dev)
             } else {
                 let xmit = self.driver.entry(entry).unwrap();
                 self.call_dom0(xmit, &args, 2_000_000)
@@ -1637,7 +2018,7 @@ impl System {
                     hyp.xmit_batch_entry()
                 }
                 .unwrap();
-                self.call_hyperdrv(xmit, &args, budget)
+                self.call_hyperdrv(xmit, &args, budget, dev)
             } else {
                 let xmit = self.driver.entry(entry).unwrap();
                 self.call_dom0(xmit, &args, budget)
@@ -2031,6 +2412,18 @@ impl System {
                 if pending.is_empty() {
                     continue;
                 }
+                // Live recovery happens *before* the hardware pass: the
+                // reset reconstructs the rings, so frames posted first
+                // would be wiped with the corrupted slot — recovering
+                // here means only the aborted burst is ever lost.
+                if self.fault_recovery
+                    && self
+                        .hyperdrv
+                        .as_ref()
+                        .is_some_and(|h| h.is_quarantined(*dev))
+                {
+                    self.recover_device(*dev)?;
+                }
                 let accepted =
                     self.world.nics[*dev as usize].deliver_batch(&mut self.machine.phys, pending);
                 if accepted > 0 {
@@ -2360,7 +2753,7 @@ impl System {
                     hyp.poll_rx_batch_entry()
                 }
                 .unwrap();
-                self.call_hyperdrv(poll, &args, 20_000_000)
+                self.call_hyperdrv(poll, &args, 20_000_000, dev)
             } else {
                 let poll = self.driver.entry(entry).unwrap();
                 self.call_dom0(poll, &args, 20_000_000)
@@ -2502,6 +2895,19 @@ impl System {
         }
         ms.set("trace.events_recorded", self.machine.trace.recorded());
         ms.set("trace.events_dropped", self.machine.trace.dropped());
+        ms.set("fault.quarantined", self.quarantine.len() as u64);
+        ms.set("fault.recoveries", self.recovery_log.len() as u64);
+        ms.set(
+            "fault.inflight_replayed",
+            self.recovery_log
+                .iter()
+                .map(|r| u64::from(r.replayed))
+                .sum(),
+        );
+        ms.set(
+            "fault.inflight_dropped",
+            self.recovery_log.iter().map(|r| u64::from(r.dropped)).sum(),
+        );
         ms.record_samples("rx_latency", self.rx_latency.samples());
         if let Some(per_guest) = self.guest_latency.as_ref() {
             for (g, r) in per_guest {
@@ -2702,7 +3108,7 @@ impl System {
             )
         };
         self.machine.meter.push_domain(CostDomain::Driver);
-        let r = self.call_hyperdrv(entry, &args, 20_000_000);
+        let r = self.call_hyperdrv(entry, &args, 20_000_000, dev);
         self.machine.meter.pop_domain();
         let reaped = r? as usize;
         if self.machine.trace.enabled() {
@@ -3198,7 +3604,7 @@ impl System {
                 )
             };
             self.machine.meter.push_domain(CostDomain::Driver);
-            let r = self.call_hyperdrv(intr, &args, 20_000_000);
+            let r = self.call_hyperdrv(intr, &args, 20_000_000, nic);
             self.machine.meter.pop_domain();
             r?;
         }

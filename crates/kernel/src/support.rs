@@ -376,8 +376,17 @@ impl Dom0Kernel {
             "netdev_alloc_skb" | "dev_alloc_skb" => {
                 let c = m.cost.skb_alloc;
                 m.meter.charge(c);
-                let skb = self.pool.alloc(m, self.space);
-                ret(cpu, skb.map(|s| s.0 as u32).unwrap_or(0));
+                // `e1000_sw_init` probes every init routine with null
+                // args; a null netdev is that capability probe, not a
+                // real allocation — handing out an skb here leaks one
+                // pool slot per probe (and re-probe, on every device
+                // reset). Same cycle charge either way.
+                if cpu.arg(m, 0)? == 0 {
+                    ret(cpu, 0);
+                } else {
+                    let skb = self.pool.alloc(m, self.space);
+                    ret(cpu, skb.map(|s| s.0 as u32).unwrap_or(0));
+                }
             }
             "dev_kfree_skb_any" | "dev_kfree_skb" | "kfree_skb" => {
                 let c = m.cost.skb_alloc / 2;

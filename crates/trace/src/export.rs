@@ -70,7 +70,12 @@ fn event_tid(ev: &TraceEvent) -> u64 {
         | TraceEvent::NapiPoll { dev, .. }
         | TraceEvent::NapiComplete { dev }
         | TraceEvent::ItrRetune { dev, .. }
-        | TraceEvent::SoftirqDispatch { dev, .. } => *dev as u64,
+        | TraceEvent::SoftirqDispatch { dev, .. }
+        | TraceEvent::FaultDetected { dev, .. }
+        | TraceEvent::QuarantineEnter { dev }
+        | TraceEvent::QuarantineExit { dev }
+        | TraceEvent::DeviceReset { dev }
+        | TraceEvent::InflightAccounted { dev, .. } => *dev as u64,
         TraceEvent::DrrGrant { guest, .. }
         | TraceEvent::EarlyDrop { guest }
         | TraceEvent::QueueCapDrop { guest } => 1000 + *guest as u64,
@@ -141,6 +146,20 @@ fn event_args(ev: &TraceEvent) -> String {
             escape_json(routine),
             escape_json(phase)
         ),
+        TraceEvent::FaultDetected { dev, reason } => {
+            format!(
+                "{{\"dev\": {dev}, \"reason\": \"{}\"}}",
+                escape_json(reason)
+            )
+        }
+        TraceEvent::QuarantineEnter { dev }
+        | TraceEvent::QuarantineExit { dev }
+        | TraceEvent::DeviceReset { dev } => format!("{{\"dev\": {dev}}}"),
+        TraceEvent::InflightAccounted {
+            dev,
+            replayed,
+            dropped,
+        } => format!("{{\"dev\": {dev}, \"replayed\": {replayed}, \"dropped\": {dropped}}}"),
     }
 }
 
@@ -175,23 +194,46 @@ pub fn chrome_trace_json(rec: &FlightRecorder) -> String {
         ));
     }
 
-    // NAPI enter→complete episodes become "X" complete events so
-    // poll-mode residency renders as a bar; an episode still open at the
-    // end of the recording spans to the last stamp.
+    // Enter→exit pairs become "X" complete events so residency renders
+    // as a bar: NAPI enter→complete as "poll_mode", quarantine
+    // enter→exit as "quarantine". An episode still open at the end of
+    // the recording spans to the last stamp.
     let last_at = rec.records().last().map(|r| r.at).unwrap_or(0);
-    let mut open: Vec<(u64, u64, &'static str)> = Vec::new(); // (dev, at, domain)
-    for r in rec.records() {
-        match &r.event {
-            TraceEvent::NapiEnter { dev }
-                if !open.iter().any(|(d, _, _)| *d == u64::from(*dev)) =>
-            {
-                open.push((u64::from(*dev), r.at, r.domain));
-            }
-            TraceEvent::NapiComplete { dev } => {
-                if let Some(i) = open.iter().position(|(d, _, _)| d == &(*dev as u64)) {
+    for (span, is_enter, is_exit) in [
+        (
+            "poll_mode",
+            (|ev: &TraceEvent| match ev {
+                TraceEvent::NapiEnter { dev } => Some(*dev),
+                _ => None,
+            }) as fn(&TraceEvent) -> Option<u32>,
+            (|ev: &TraceEvent| match ev {
+                TraceEvent::NapiComplete { dev } => Some(*dev),
+                _ => None,
+            }) as fn(&TraceEvent) -> Option<u32>,
+        ),
+        (
+            "quarantine",
+            |ev: &TraceEvent| match ev {
+                TraceEvent::QuarantineEnter { dev } => Some(*dev),
+                _ => None,
+            },
+            |ev: &TraceEvent| match ev {
+                TraceEvent::QuarantineExit { dev } => Some(*dev),
+                _ => None,
+            },
+        ),
+    ] {
+        let mut open: Vec<(u64, u64, &'static str)> = Vec::new(); // (dev, at, domain)
+        for r in rec.records() {
+            if let Some(dev) = is_enter(&r.event) {
+                if !open.iter().any(|(d, _, _)| *d == u64::from(dev)) {
+                    open.push((u64::from(dev), r.at, r.domain));
+                }
+            } else if let Some(dev) = is_exit(&r.event) {
+                if let Some(i) = open.iter().position(|(d, _, _)| *d == u64::from(dev)) {
                     let (dev, start, domain) = open.remove(i);
                     events.push(format!(
-                        "{{\"name\": \"poll_mode\", \"ph\": \"X\", \"pid\": {}, \"tid\": {dev}, \
+                        "{{\"name\": \"{span}\", \"ph\": \"X\", \"pid\": {}, \"tid\": {dev}, \
                          \"ts\": {}, \"dur\": {}, \"args\": {{\"dev\": {dev}}}}}",
                         domain_pid(domain),
                         ts_us(start),
@@ -199,25 +241,27 @@ pub fn chrome_trace_json(rec: &FlightRecorder) -> String {
                     ));
                 }
             }
-            _ => {}
         }
-    }
-    open.sort_unstable();
-    for (dev, start, domain) in open {
-        events.push(format!(
-            "{{\"name\": \"poll_mode\", \"ph\": \"X\", \"pid\": {}, \"tid\": {dev}, \
-             \"ts\": {}, \"dur\": {}, \"args\": {{\"dev\": {dev}, \"open\": true}}}}",
-            domain_pid(domain),
-            ts_us(start),
-            ts_us(last_at.saturating_sub(start)),
-        ));
+        open.sort_unstable();
+        for (dev, start, domain) in open {
+            events.push(format!(
+                "{{\"name\": \"{span}\", \"ph\": \"X\", \"pid\": {}, \"tid\": {dev}, \
+                 \"ts\": {}, \"dur\": {}, \"args\": {{\"dev\": {dev}, \"open\": true}}}}",
+                domain_pid(domain),
+                ts_us(start),
+                ts_us(last_at.saturating_sub(start)),
+            ));
+        }
     }
 
     // Everything else is an instant on its track.
     for r in rec.records() {
         if matches!(
             r.event,
-            TraceEvent::NapiEnter { .. } | TraceEvent::NapiComplete { .. }
+            TraceEvent::NapiEnter { .. }
+                | TraceEvent::NapiComplete { .. }
+                | TraceEvent::QuarantineEnter { .. }
+                | TraceEvent::QuarantineExit { .. }
         ) {
             continue;
         }
@@ -329,6 +373,41 @@ mod tests {
         let j = chrome_trace_json(&r);
         assert!(j.contains("\"open\": true"));
         assert!(j.contains("\"dur\": 3.000"));
+    }
+
+    #[test]
+    fn quarantine_episode_renders_as_span() {
+        let mut r = FlightRecorder::new();
+        r.set_enabled(true);
+        r.record(
+            3_000,
+            "Xen",
+            TraceEvent::FaultDetected {
+                dev: 2,
+                reason: "illegal store".into(),
+            },
+        );
+        r.record(3_000, "Xen", TraceEvent::QuarantineEnter { dev: 2 });
+        r.record(6_000, "Xen", TraceEvent::DeviceReset { dev: 2 });
+        r.record(
+            6_000,
+            "Xen",
+            TraceEvent::InflightAccounted {
+                dev: 2,
+                replayed: 3,
+                dropped: 5,
+            },
+        );
+        r.record(9_000, "Xen", TraceEvent::QuarantineExit { dev: 2 });
+        let j = chrome_trace_json(&r);
+        assert!(j.contains("\"name\": \"quarantine\", \"ph\": \"X\""));
+        assert!(j.contains("\"ts\": 1.000, \"dur\": 2.000"));
+        assert!(j.contains("\"name\": \"fault_detected\", \"ph\": \"i\""));
+        assert!(j.contains("\"name\": \"device_reset\", \"ph\": \"i\""));
+        assert!(j.contains("\"replayed\": 3, \"dropped\": 5"));
+        // Enter/exit are subsumed by the bar, never raw instants.
+        assert!(!j.contains("\"name\": \"quarantine_enter\""));
+        assert!(!j.contains("\"name\": \"quarantine_exit\""));
     }
 
     #[test]

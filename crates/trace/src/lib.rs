@@ -205,6 +205,46 @@ pub enum TraceEvent {
         /// Harness phase label (`init` / `config` / `fastpath`).
         phase: String,
     },
+    /// SVM (or the execution watchdog) caught the hypervisor driver
+    /// faulting while it drove `dev` — the moment the trust decision
+    /// flips (paper §4.5).
+    FaultDetected {
+        /// Device the driver was servicing when it faulted.
+        dev: u32,
+        /// Abort-reason label (`illegal store to …`, `watchdog: …`).
+        reason: String,
+    },
+    /// Fault containment began: `dev` left service and its leaked state
+    /// (grants, queued upcalls, poll latches, watchdog) is being torn
+    /// down. Paired with [`TraceEvent::QuarantineExit`] as a span.
+    QuarantineEnter {
+        /// Quarantined device id.
+        dev: u32,
+    },
+    /// `dev` finished recovery and re-entered service; closes the
+    /// quarantine span.
+    QuarantineExit {
+        /// Recovered device id.
+        dev: u32,
+    },
+    /// The quarantined device was reset: adapter slot re-probed, rings
+    /// reconstructed, IRQ re-requested, watchdog re-armed.
+    DeviceReset {
+        /// Reset device id.
+        dev: u32,
+    },
+    /// In-flight accounting for one fault episode: `replayed` queued
+    /// upcalls were executed natively (frees/unlocks restored), the
+    /// rest plus the device's undelivered frames were `dropped` —
+    /// bounded, counted loss.
+    InflightAccounted {
+        /// Faulted device id.
+        dev: u32,
+        /// Deferred upcalls replayed natively during teardown.
+        replayed: u32,
+        /// Deferred upcalls discarded plus in-flight frames lost.
+        dropped: u32,
+    },
 }
 
 impl TraceEvent {
@@ -231,6 +271,11 @@ impl TraceEvent {
             TraceEvent::TimerFire { .. } => "timer_fire",
             TraceEvent::SoftirqDispatch { .. } => "softirq_dispatch",
             TraceEvent::KernelCall { .. } => "kernel_call",
+            TraceEvent::FaultDetected { .. } => "fault_detected",
+            TraceEvent::QuarantineEnter { .. } => "quarantine_enter",
+            TraceEvent::QuarantineExit { .. } => "quarantine_exit",
+            TraceEvent::DeviceReset { .. } => "device_reset",
+            TraceEvent::InflightAccounted { .. } => "inflight_accounted",
         }
     }
 }

@@ -892,7 +892,10 @@ mod tests {
             &mut kernel,
             &mut xen,
             &mut svm,
-            &[0, 2048],
+            // A real (nonzero) netdev: dom0's dispatch treats a null
+            // netdev as the sw_init capability probe and allocates
+            // nothing.
+            &[1, 2048],
         )
         .unwrap();
         assert_ne!(r, 0, "resumed with dom0's return value");
