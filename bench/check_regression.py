@@ -14,8 +14,8 @@ should be accompanied by a refreshed baseline (regenerate with e.g.
 cp BENCH_shard.json bench/baseline.json`).
 
 Entries are keyed by their identity fields (config, nics, burst,
-upcalls, itr, mode, zerocopy — whichever are present) and compared on
-every `*_cycles_per_packet` field both sides share.
+upcalls, itr, mode, zerocopy, policy, duty — whichever are present) and
+compared on every `*_cycles_per_packet` field both sides share.
 
 Usage: check_regression.py BASELINE CURRENT [--tolerance 0.10]
        check_regression.py --self-test
@@ -30,9 +30,11 @@ import sys
 # load-profile phase is its own gated point); "zerocopy" splits the
 # zero-copy sweep's on/off modes into separately gated points;
 # "offered"/"guest" key the livelock sweep's offered-load multiples and
-# per-guest breakdowns.
+# per-guest breakdowns; "policy"/"duty" key the scheduler-affinity
+# sweep's shard-policy × run-duty-cycle grid.
 ID_FIELDS = ("config", "profile", "phase", "nics", "burst", "upcalls",
-             "itr", "mode", "zerocopy", "offered", "guest")
+             "itr", "mode", "zerocopy", "offered", "guest", "policy",
+             "duty")
 
 
 def key_of(entry):

@@ -26,6 +26,7 @@ autotune_sweep    bench/baseline_autotune.json  BENCH_autotune.json
 zerocopy_sweep    bench/baseline_zerocopy.json  BENCH_zerocopy.json
 livelock_sweep    bench/baseline_livelock.json  BENCH_livelock.json
 fault_sweep       bench/baseline_fault.json     BENCH_fault.json
+affinity_sweep    bench/baseline_affinity.json  BENCH_affinity.json
 "
 
 while read -r bench baseline output; do

@@ -142,15 +142,15 @@ pub mod system;
 
 pub use iommu::Iommu;
 pub use measure::{
-    fault_injected_source, measure_aggregate_throughput, measure_fault_recovery,
-    measure_rx_autotuned, measure_rx_livelock, percentile, throughput, upcall_latency,
-    AggregateThroughput, AutotunedRx, Breakdown, BurstMeasurement, FaultClass, FaultPoint,
-    LatencyStats, LivelockPoint, LoadProfile, ModeratedRx, OverloadProfile, RxPhase,
-    SampleReservoir, Throughput, CPU_HZ, TESTBED_NICS, VICTIM_FRAMES_PER_BURST,
+    balanced_flow_set, fault_injected_source, measure_aggregate_throughput, measure_fault_recovery,
+    measure_rx_affinity, measure_rx_autotuned, measure_rx_livelock, percentile, throughput,
+    upcall_latency, AffinityPoint, AggregateThroughput, AutotunedRx, Breakdown, BurstMeasurement,
+    FaultClass, FaultPoint, LatencyStats, LivelockPoint, LoadProfile, ModeratedRx, OverloadProfile,
+    RxPhase, SampleReservoir, Throughput, CPU_HZ, TESTBED_NICS, VICTIM_FRAMES_PER_BURST,
 };
 pub use system::{
-    peer_mac, Config, RecoveryReport, ShardPolicy, System, SystemError, SystemOptions, UpcallMode,
-    World, MAX_BURST,
+    peer_mac, Config, RecoveryReport, SchedOptions, ShardPolicy, System, SystemError,
+    SystemOptions, UpcallMode, World, MAX_BURST,
 };
 
 // Re-export the substrate crates so downstream users (workloads, benches,
@@ -161,6 +161,7 @@ pub use twin_machine as machine;
 pub use twin_net as net;
 pub use twin_nic as nic;
 pub use twin_rewriter as rewriter;
+pub use twin_sched as sched;
 pub use twin_svm as svm;
 pub use twin_trace as trace;
 pub use twin_xen as xen;

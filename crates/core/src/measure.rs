@@ -717,6 +717,221 @@ pub fn measure_rx_livelock(
     })
 }
 
+/// One point of the scheduler-affinity sweep: cycles/packet, cold
+/// deliveries, migration accounting and per-guest tail latency for one
+/// shard policy at one run/sleep duty cycle.
+#[derive(Clone, Debug)]
+pub struct AffinityPoint {
+    /// NICs driven concurrently.
+    pub nics: u32,
+    /// Frames per arrival burst.
+    pub burst: usize,
+    /// Shard-policy label (`flowhash` / `affinity`).
+    pub policy: &'static str,
+    /// Run duty cycle in percent (100 = vCPUs never sleep).
+    pub duty_pct: u32,
+    /// Frames offered on the wire over the measured span.
+    pub frames_offered: u64,
+    /// Frames fully delivered into guests (equal to offered on a
+    /// drop-free run — the acceptance requires it).
+    pub frames_delivered: u64,
+    /// Charged cycles per delivered packet, the headline metric the
+    /// affinity win shows up in.
+    pub rx_cycles_per_packet: f64,
+    /// Deliveries that paid the cold sTLB/cache refill (softirq CPU ≠
+    /// guest vCPU).
+    pub cold_deliveries: u64,
+    /// Affinity flow placements over the run (0 under FlowHash).
+    pub placements: u64,
+    /// Affinity flow migrations following the scheduler (0 with pinned
+    /// vCPUs).
+    pub migrations: u64,
+    /// vCPU wakeups observed during the measured span.
+    pub wakes: u64,
+    /// Admission-watermark drops (must be 0 — the harness runs uncapped).
+    pub early_drops: u64,
+    /// Demux queue-cap drops (must be 0).
+    pub queue_drops: u64,
+    /// RX-descriptor drops (must be 0).
+    pub ring_drops: u64,
+    /// Per-(guest, flow) sequence inversions in the delivered logs
+    /// (must be 0 — order is preserved across sleep deferral and
+    /// migration alike).
+    pub reorders: u64,
+    /// Worst p99 arrival-to-delivery latency across the scheduled
+    /// guests, in cycles (includes sleep deferral by construction).
+    pub victim_p99: u64,
+}
+
+impl AffinityPoint {
+    /// One sweep-table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>9}  duty {:>3}%  cyc/pkt {:>8.0}  cold {:>6}  placements {:>4}  migrations {:>4}  wakes {:>5}  drops {:>2}/{:>2}/{:>2}  reorders {:>2}  p99 {:>9}",
+            self.policy,
+            self.duty_pct,
+            self.rx_cycles_per_packet,
+            self.cold_deliveries,
+            self.placements,
+            self.migrations,
+            self.wakes,
+            self.early_drops,
+            self.queue_drops,
+            self.ring_drops,
+            self.reorders,
+            self.victim_p99,
+        )
+    }
+}
+
+/// Counts per-(guest, flow) sequence inversions in every guest's
+/// delivered log — the order-preservation check the affinity
+/// acceptance gates on.
+fn rx_reorders(sys: &System) -> u64 {
+    let Some(xen) = sys.world.xen.as_ref() else {
+        return 0;
+    };
+    let mut reorders = 0u64;
+    for d in &xen.domains {
+        let mut last: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for f in &d.rx_delivered {
+            if let Some(prev) = last.insert(f.flow, f.seq) {
+                if f.seq <= prev {
+                    reorders += 1;
+                }
+            }
+        }
+    }
+    reorders
+}
+
+/// Runs one **open-loop** scheduler-affinity point: `bursts` arrival
+/// bursts land on a fixed `gap_cycles` schedule, each spread evenly
+/// (round-robin) across the `traffic` guests on their fixed flows;
+/// the consumer — per-arrival ISR reaps plus DRR flush rounds between
+/// arrivals — follows the vCPU schedule registered from `vcpus`
+/// (guest, cpu, run cycles, sleep cycles; an empty slice leaves every
+/// guest always-running). After the schedule closes, the harness
+/// drains the deferred backlog to the last frame — both policies
+/// deliver identical frame sets on a drop-free run, so cycles per
+/// delivered packet is an apples-to-apples comparison and sleep
+/// deferral shows up in latency, not in lost goodput.
+///
+/// The system must be built with [`SystemOptions::sched`] when `vcpus`
+/// is non-empty. `policy` and `duty_pct` are reporting labels.
+///
+/// # Errors
+///
+/// Propagates faults; [`SystemError::Build`] if the post-schedule
+/// drain fails to converge (a wedged consumer must fail loudly).
+#[allow(clippy::too_many_arguments)] // one sweep point = one call site; the grid is the signature
+pub fn measure_rx_affinity(
+    sys: &mut System,
+    traffic: &[(DomId, MacAddr, u32)],
+    vcpus: &[(DomId, u32, u64, u64)],
+    policy: &'static str,
+    duty_pct: u32,
+    burst: usize,
+    bursts: u64,
+    gap_cycles: u64,
+) -> Result<AffinityPoint, SystemError> {
+    // Closed-loop warm-up before any vCPU exists: every ring completes
+    // its buffer-swap cycle with all guests running, identically for
+    // every policy/duty combination.
+    for _ in 0..160 * sys.nic_count() {
+        sys.receive_one()?;
+    }
+    sys.drain_moderated()?;
+    for &(gid, cpu, run, sleep) in vcpus {
+        sys.sched_add_vcpu(gid, cpu, run, sleep)?;
+    }
+    sys.track_guest_latency();
+    let placements_before = sys.metrics().counter("sched.placements");
+    let migrations_before = sys.metrics().counter("sched.migrations");
+    let delivered_before: u64 = traffic
+        .iter()
+        .map(|t| sys.delivered_rx_for(t.0) as u64)
+        .sum();
+    let early_before = sys.rx_early_drops();
+    let queue_before = sys.rx_queue_drops();
+    let ring_before = sys.rx_ring_drops();
+    sys.reset_measurement();
+    let mut seq = 1_000_000u64; // clear of every closed-loop generator
+    let t0 = sys.now_cycles();
+    let mut offered = 0u64;
+    for i in 0..bursts {
+        let arrival = t0 + i * gap_cycles;
+        sys.rx_open_loop_service(arrival)?;
+        let frames: Vec<Frame> = (0..burst)
+            .map(|j| {
+                let (_, mac, flow) = traffic[j % traffic.len()];
+                let f = Frame {
+                    dst: mac,
+                    src: MacAddr([0x02, 0, 0, 0, 0, 0xee]),
+                    ethertype: EtherType::Ipv4,
+                    payload_len: MTU,
+                    flow,
+                    seq,
+                };
+                seq += 1;
+                f
+            })
+            .collect();
+        offered += frames.len() as u64;
+        sys.rx_open_loop_arrival(&frames, arrival)?;
+    }
+    sys.rx_open_loop_service(t0 + bursts * gap_cycles)?;
+    // Drain the deferred backlog: sleeping guests' frames deliver at
+    // their wakeup edges. Unlike the livelock sweep this tail counts —
+    // the question is delivery cost, not overload goodput, and both
+    // policies deliver the same frames.
+    let mut guard = 0u32;
+    while sys
+        .world
+        .xen
+        .as_ref()
+        .is_some_and(|x| x.domains.iter().any(|d| !d.rx_queue.is_empty()))
+    {
+        let now = sys.now_cycles();
+        sys.rx_open_loop_service(now + 100_000)?;
+        guard += 1;
+        if guard > 10_000 {
+            return Err(SystemError::Build("affinity drain did not converge".into()));
+        }
+    }
+    let delivered: u64 = traffic
+        .iter()
+        .map(|t| sys.delivered_rx_for(t.0) as u64)
+        .sum::<u64>()
+        - delivered_before;
+    let breakdown = Breakdown::from_meter(&sys.machine.meter, delivered.max(1));
+    let victim_p99 = traffic
+        .iter()
+        .map(|t| LatencyStats::from_samples(sys.guest_rx_latency(t.0)).p99)
+        .max()
+        .unwrap_or(0);
+    let ms = sys.metrics();
+    sys.export_trace(&format!("affinity_{policy}_{duty_pct}"));
+    Ok(AffinityPoint {
+        nics: sys.nic_count() as u32,
+        burst,
+        policy,
+        duty_pct,
+        frames_offered: offered,
+        frames_delivered: delivered,
+        rx_cycles_per_packet: breakdown.total(),
+        cold_deliveries: breakdown.events.get("cold_delivery").copied().unwrap_or(0),
+        placements: ms.counter("sched.placements") - placements_before,
+        migrations: ms.counter("sched.migrations") - migrations_before,
+        wakes: breakdown.events.get("vcpu_run").copied().unwrap_or(0),
+        early_drops: sys.rx_early_drops() - early_before,
+        queue_drops: sys.rx_queue_drops() - queue_before,
+        ring_drops: sys.rx_ring_drops() - ring_before,
+        reorders: rx_reorders(sys),
+        victim_p99,
+    })
+}
+
 /// Measures aggregate RX+TX throughput of a (possibly multi-NIC) system
 /// at a fixed burst size: `packets` packets move in each direction in
 /// bursts of `burst`, sharded across the NICs by the system's policy;
@@ -990,6 +1205,31 @@ impl FaultPoint {
             self.lost_frames,
         )
     }
+}
+
+/// A flow set that [`ShardPolicy::FlowHash`] provably balances across
+/// `num_nics` devices: exactly `flows_per_nic` flows hash to each
+/// device, found by scanning ids upward from
+/// [`System::BALANCED_FLOW_BASE`] and keeping a flow only while its
+/// device still has room. Returned in scan (ascending) order, so for
+/// four NICs × two flows the set is exactly `203..=210` — the
+/// hand-picked constant the autotune harness used to special-case —
+/// and indexing round-robin by sequence number reproduces that
+/// harness's traffic bit-exactly while generalising to any NIC count.
+pub fn balanced_flow_set(num_nics: u32, flows_per_nic: usize) -> Vec<u32> {
+    let n = num_nics.max(1);
+    let mut per_dev = vec![0usize; n as usize];
+    let mut out = Vec::with_capacity(n as usize * flows_per_nic);
+    let mut flow = System::BALANCED_FLOW_BASE;
+    while out.len() < n as usize * flows_per_nic {
+        let dev = (flow.wrapping_mul(2_654_435_761) >> 16) % n;
+        if per_dev[dev as usize] < flows_per_nic {
+            per_dev[dev as usize] += 1;
+            out.push(flow);
+        }
+        flow += 1;
+    }
+    out
 }
 
 /// Picks a flow id that [`ShardPolicy::FlowHash`] maps to `dev` (the

@@ -29,6 +29,8 @@ use twin_machine::{CostDomain, Cpu, Env, ExecMode, Fault, Machine, PageEntry, Sp
 use twin_net::{EtherType, Frame, MacAddr, MTU};
 use twin_nic::{ItrTuner, Nic, AUTOTUNE_WINDOW_CYCLES, MMIO_WINDOW};
 use twin_rewriter::{rewrite, RewriteOptions, RewriteStats};
+pub use twin_sched::SchedOptions;
+use twin_sched::VcpuSched;
 use twin_svm::{Svm, CALL_XLAT_SYMBOL, SLOW_PATH_SYMBOL};
 use twin_trace::{FlushCause, MetricSet, TraceEvent};
 use twin_xen::{
@@ -97,6 +99,17 @@ pub enum ShardPolicy {
     /// Frames hash by flow id to a NIC: same flow, same NIC, always —
     /// per-flow ordering is preserved across any number of devices.
     FlowHash,
+    /// Scheduler-aware placement: a guest's flows land on the NIC whose
+    /// softirq CPU matches the guest's vCPU (per the
+    /// [`SystemOptions::sched`] topology map), so deliveries stay
+    /// cache-warm. Flows of guests with no vCPU — and every flow when
+    /// the scheduler model is off — fall back to the exact
+    /// [`ShardPolicy::FlowHash`] placement, making this policy
+    /// FlowHash-equivalent whenever the scheduler is disabled. When the
+    /// scheduler later moves a guest, its flows follow, bounded by the
+    /// configured hysteresis and deferred until the old device's ring
+    /// is drained so per-flow order is preserved across the migration.
+    Affinity,
 }
 
 impl Default for ShardPolicy {
@@ -277,6 +290,18 @@ pub struct SystemOptions {
     /// keeps the paper's §4.5 sticky abort (now leak-free) and is
     /// bit-exact with every prior baseline on fault-free runs.
     pub fault_recovery: bool,
+    /// vCPU scheduler model ([`twin_sched::VcpuSched`], TwinDrivers
+    /// only): per-guest run/sleep schedules on the virtual clock, a run
+    /// queue per physical CPU and a static CPU↔NIC-softirq topology
+    /// map. When set, placement ([`ShardPolicy::Affinity`]), NAPI poll
+    /// budgets, DRR flush grants and ITR idle accounting all follow the
+    /// scheduler, and deliveries pay
+    /// [`twin_machine::CostParams::cold_delivery_refill`] when they run
+    /// far from the owning guest's vCPU. vCPUs are registered at run
+    /// time with [`System::sched_add_vcpu`]. `None` (the default)
+    /// compiles the machinery out of every decision and is bit-exact
+    /// with every prior baseline.
+    pub sched: Option<SchedOptions>,
 }
 
 impl Default for SystemOptions {
@@ -304,6 +329,7 @@ impl Default for SystemOptions {
             rx_queue_cap: None,
             tracing: false,
             fault_recovery: false,
+            sched: None,
         }
     }
 }
@@ -609,6 +635,21 @@ pub struct System {
     /// Completed recovery reports in episode order — pure bookkeeping
     /// (never charged), the fault sweep's latency source.
     recovery_log: Vec<RecoveryReport>,
+    /// vCPU scheduler model ([`SystemOptions::sched`]; `None` — the
+    /// default — allocates nothing and leaves every decision on the
+    /// scheduler-oblivious path).
+    sched: Option<VcpuSched>,
+    /// Sticky [`ShardPolicy::Affinity`] placements: flow → device.
+    /// Populated only with the scheduler on; FlowHash fallback flows
+    /// are never recorded.
+    affinity_flow_dev: BTreeMap<u32, u32>,
+    /// Virtual-clock stamp of each guest's last flow migration — the
+    /// hysteresis clock bounding how often placements may follow the
+    /// scheduler.
+    affinity_moved_at: BTreeMap<u32, u64>,
+    /// Per-guest `(placements, migrations)` counters for the `sched.*`
+    /// metrics.
+    affinity_stats: BTreeMap<u32, (u64, u64)>,
     dom0: SpaceId,
     dom0_stack_top: u64,
     guest_tx_frag: u64,
@@ -694,6 +735,102 @@ impl System {
                     }
                 }
                 groups
+            }
+            ShardPolicy::Affinity => {
+                let mut groups: Vec<(u32, Vec<Frame>)> = Vec::new();
+                for f in frames {
+                    let dev = self.affinity_dev(&f, n);
+                    match groups.iter_mut().find(|(d, _)| *d == dev) {
+                        Some((_, v)) => v.push(f),
+                        None => groups.push((dev, vec![f])),
+                    }
+                }
+                groups
+            }
+        }
+    }
+
+    /// Device choice for one frame under [`ShardPolicy::Affinity`].
+    ///
+    /// Flows that cannot be tied to a scheduled vCPU — the scheduler
+    /// model is off, the frame is not guest-bound, or the guest has no
+    /// registered vCPU — take the exact [`ShardPolicy::FlowHash`]
+    /// placement, so the policy is FlowHash-equivalent whenever the
+    /// scheduler is disabled. Scheduled flows stick to a NIC whose
+    /// softirq CPU matches the guest's vCPU; when the scheduler has
+    /// moved the guest, the flow follows only after the configured
+    /// hysteresis interval *and* once the old device's RX ring is
+    /// drained — frames still queued there would overtake the migrated
+    /// ones and break per-flow order.
+    fn affinity_dev(&mut self, f: &Frame, n: u32) -> u32 {
+        let hash16 = f.flow.wrapping_mul(2_654_435_761) >> 16;
+        let hash_dev = hash16 % n;
+        if self.sched.is_none() {
+            return hash_dev;
+        }
+        // Only guest-bound RX frames are steered: delivery locality is
+        // a receive-side property (NIC softirq CPU vs the owning
+        // guest's vCPU). TX and non-guest frames keep the oblivious
+        // hash, so the wire interleave never depends on the scheduler.
+        let Some(g) = self.world.xen.as_ref().and_then(|x| {
+            x.domains
+                .iter()
+                .find(|d| d.kind == DomainKind::Guest && d.mac == f.dst)
+                .map(|d| d.id.0)
+        }) else {
+            return hash_dev;
+        };
+        let sched = self.sched.as_ref().expect("checked above");
+        let Some(cpu) = sched.cpu_of(g) else {
+            return hash_dev;
+        };
+        let local: Vec<u32> = (0..n).filter(|&d| sched.nic_cpu(d) == cpu).collect();
+        let target = if local.is_empty() {
+            hash_dev
+        } else {
+            // Spread a guest's flows across its local NICs by the same
+            // hash the oblivious policy uses.
+            local[hash16 as usize % local.len()]
+        };
+        let hysteresis = sched.options().affinity_hysteresis;
+        match self.affinity_flow_dev.get(&f.flow).copied() {
+            None => {
+                self.affinity_flow_dev.insert(f.flow, target);
+                let stats = self.affinity_stats.entry(g).or_insert((0, 0));
+                stats.0 += 1;
+                self.machine.meter.count_event("affinity_place");
+                if self.machine.trace.enabled() {
+                    self.machine.trace_event(TraceEvent::AffinityPlace {
+                        guest: g,
+                        flow: f.flow,
+                        dev: target,
+                    });
+                }
+                target
+            }
+            Some(cur) if cur == target => cur,
+            Some(cur) => {
+                let now = self.machine.meter.now();
+                let moved_at = self.affinity_moved_at.get(&g).copied().unwrap_or(0);
+                let old_ring_drained = self.world.nics[cur as usize].rx_pending() == 0;
+                if now.saturating_sub(moved_at) >= hysteresis && old_ring_drained {
+                    self.affinity_flow_dev.insert(f.flow, target);
+                    self.affinity_moved_at.insert(g, now);
+                    let stats = self.affinity_stats.entry(g).or_insert((0, 0));
+                    stats.1 += 1;
+                    self.machine.meter.count_event("affinity_migrate");
+                    if self.machine.trace.enabled() {
+                        self.machine.trace_event(TraceEvent::AffinityMigrate {
+                            guest: g,
+                            flow: f.flow,
+                            from_dev: cur,
+                            to_dev: target,
+                        });
+                    }
+                    target
+                } else {
+                    cur
+                }
             }
         }
     }
@@ -841,6 +978,10 @@ impl System {
             fault_recovery: opts.fault_recovery,
             quarantine: BTreeMap::new(),
             recovery_log: Vec::new(),
+            sched: opts.sched.clone().map(VcpuSched::new),
+            affinity_flow_dev: BTreeMap::new(),
+            affinity_moved_at: BTreeMap::new(),
+            affinity_stats: BTreeMap::new(),
             dom0,
             dom0_stack_top,
             guest_tx_frag: 0,
@@ -909,6 +1050,15 @@ impl System {
         if opts.fault_recovery && config != Config::TwinDrivers {
             return Err(SystemError::Build(
                 "fault_recovery requires the TwinDrivers configuration".into(),
+            ));
+        }
+
+        // The scheduler model drives guest-facing placement and service
+        // decisions; only the TwinDrivers configuration demuxes to
+        // scheduled guests.
+        if opts.sched.is_some() && config != Config::TwinDrivers {
+            return Err(SystemError::Build(
+                "sched requires the TwinDrivers configuration".into(),
             ));
         }
 
@@ -1500,6 +1650,46 @@ impl System {
         Ok(())
     }
 
+    /// Applies every scheduler transition due at `now` — pure
+    /// bookkeeping, no cycles charged — emitting the `vcpu_run` /
+    /// `vcpu_sleep` events. Returns whether any vCPU woke (the caller
+    /// then releases deferred backlog). A no-op without the scheduler
+    /// model.
+    fn advance_sched(&mut self, now: u64) -> bool {
+        let transitions = match self.sched.as_mut() {
+            Some(s) => s.advance(now),
+            None => return false,
+        };
+        let mut woke = false;
+        for tr in &transitions {
+            woke |= tr.now_running;
+            self.machine.meter.count_event(if tr.now_running {
+                "vcpu_run"
+            } else {
+                "vcpu_sleep"
+            });
+            if self.machine.trace.enabled() {
+                let cpu = self
+                    .sched
+                    .as_ref()
+                    .and_then(|s| s.cpu_of(tr.guest))
+                    .unwrap_or(0);
+                self.machine.trace_event(if tr.now_running {
+                    TraceEvent::VcpuRun {
+                        guest: tr.guest,
+                        cpu,
+                    }
+                } else {
+                    TraceEvent::VcpuSleep {
+                        guest: tr.guest,
+                        cpu,
+                    }
+                });
+            }
+        }
+        woke
+    }
+
     /// Services every virtual timer that is due *now*, in
     /// flush-before-IRQ order: (1) the deadline-driven upcall flush, so
     /// queued frees/unmaps reach dom0 before interrupt work piles more
@@ -1518,6 +1708,7 @@ impl System {
     /// timer handlers.
     pub fn service_virtual_timers(&mut self, fire_kernel_timers: bool) -> Result<(), SystemError> {
         let now = self.machine.meter.now();
+        let sched_woke = self.advance_sched(now);
         if self
             .world
             .hyper
@@ -1559,6 +1750,22 @@ impl System {
                     self.rx_pass(&ready)?;
                 }
                 self.flush_deferred_upcalls()?;
+                self.sample_rx_completions();
+            }
+        }
+        // A wakeup releases the guest's deferred backlog: the frames
+        // the DRR flush skipped while it slept deliver now, at the
+        // scheduler edge — the deferral bound the wakeup timer
+        // provides.
+        if sched_woke {
+            let backlog = self.world.xen.as_ref().is_some_and(|x| {
+                x.domains.iter().any(|d| {
+                    !d.rx_queue.is_empty()
+                        && self.sched.as_ref().is_some_and(|s| s.is_running(d.id.0))
+                })
+            });
+            if backlog {
+                self.flush_guest_rx_queues()?;
                 self.sample_rx_completions();
             }
         }
@@ -1608,6 +1815,11 @@ impl System {
         for t in &self.itr_tuners {
             candidates.push(t.next_window_at());
         }
+        // Scheduler run/sleep edges: idle stepping lands exactly on the
+        // next wakeup so deferred backlog never waits past it.
+        if let Some(t) = self.sched.as_ref().and_then(|s| s.next_event()) {
+            candidates.push(t);
+        }
         candidates.into_iter().min()
     }
 
@@ -1644,8 +1856,19 @@ impl System {
             // idleness of a *lightly* loaded gated device still shows:
             // its cause clears at each window-open delivery and the
             // remaining inter-burst gap is reported.
+            // A sleeping guest's backlog is deferred work, not light
+            // load: while it waits for its wakeup the system is
+            // backlogged, and reporting the wait as idleness would
+            // decay a converged bulk ITR setting every sleep interval.
+            let sleep_backlog = self.sched.as_ref().is_some_and(|s| {
+                self.world.xen.as_ref().is_some_and(|x| {
+                    x.domains
+                        .iter()
+                        .any(|d| !d.rx_queue.is_empty() && !s.is_running(d.id.0))
+                })
+            });
             for (dev, t) in self.itr_tuners.iter_mut().enumerate() {
-                if !self.world.nics[dev].irq_asserted() {
+                if !self.world.nics[dev].irq_asserted() && !sleep_backlog {
                     t.note_idle(step);
                 }
             }
@@ -1814,13 +2037,14 @@ impl System {
         f
     }
 
-    /// First of the eight flow ids the autotune phase harness paces
-    /// with: chosen so [`ShardPolicy::FlowHash`] maps exactly two flows
-    /// to each of four NICs, giving every per-device tuner the same
-    /// offered load. (The classic generator's flows 101–108 split
-    /// 2/2/1/3 — a device with a single thin flow sees a genuinely
-    /// lighter regime than its siblings, which is a property of the
-    /// traffic, not of the tuner under test.)
+    /// Scan base for [`crate::measure::balanced_flow_set`], the
+    /// device-balanced flow generator the autotune and affinity
+    /// harnesses pace with. (The classic generator's flows 101–108
+    /// split 2/2/1/3 across four NICs under [`ShardPolicy::FlowHash`] —
+    /// a device with a single thin flow sees a genuinely lighter regime
+    /// than its siblings, which is a property of the traffic, not of
+    /// the system under test. Scanning from 203 yields `203..=210`: two
+    /// flows per device at four NICs.)
     pub const BALANCED_FLOW_BASE: u32 = 203;
 
     fn next_rx_frame(&mut self) -> Frame {
@@ -2680,12 +2904,15 @@ impl System {
     /// per-guest demux queue, or ring descriptors waiting under a
     /// masked poll-mode device.
     pub fn rx_open_loop_pending(&self) -> bool {
-        if self
-            .world
-            .xen
-            .as_ref()
-            .is_some_and(|x| x.domains.iter().any(|d| !d.rx_queue.is_empty()))
-        {
+        if self.world.xen.as_ref().is_some_and(|x| {
+            x.domains.iter().any(|d| {
+                // A sleeping guest's backlog is not serviceable work:
+                // it waits for the wakeup timer, which idle stepping
+                // lands on (`next_virtual_event`), not for the
+                // consumer loop.
+                !d.rx_queue.is_empty() && self.sched.as_ref().map_or(true, |s| s.is_running(d.id.0))
+            })
+        }) {
             return true;
         }
         self.poll_mode
@@ -2908,6 +3135,29 @@ impl System {
             "fault.inflight_dropped",
             self.recovery_log.iter().map(|r| u64::from(r.dropped)).sum(),
         );
+        if let Some(s) = self.sched.as_ref() {
+            let now = meter.now();
+            let mut placements = 0u64;
+            let mut migrations = 0u64;
+            for g in s.guests() {
+                let st = s.stats(g, now).expect("registered vcpu");
+                ms.set(format!("sched.guest{g}.cpu"), u64::from(st.cpu));
+                ms.set(format!("sched.guest{g}.running"), u64::from(st.running));
+                ms.set(format!("sched.guest{g}.run_cycles"), st.run_cycles);
+                ms.set(format!("sched.guest{g}.wakes"), st.wakes);
+                ms.set(format!("sched.guest{g}.sleeps"), st.sleeps);
+                let (p, m) = self.affinity_stats.get(&g).copied().unwrap_or((0, 0));
+                ms.set(format!("sched.guest{g}.placements"), p);
+                ms.set(format!("sched.guest{g}.migrations"), m);
+                placements += p;
+                migrations += m;
+            }
+            // Flows placed for guests outside the vCPU set never happen
+            // (they take the FlowHash fallback), so the totals are the
+            // per-guest sums.
+            ms.set("sched.placements", placements);
+            ms.set("sched.migrations", migrations);
+        }
         ms.record_samples("rx_latency", self.rx_latency.samples());
         if let Some(per_guest) = self.guest_latency.as_ref() {
             for (g, r) in per_guest {
@@ -3062,7 +3312,7 @@ impl System {
     /// re-arm — [`System::napi_poll_pass`] sequences those across all
     /// polled devices. Returns frames reaped.
     fn napi_poll_dev_reap(&mut self, dev: u32) -> Result<usize, SystemError> {
-        let weight = self.napi_weight as u32;
+        let weight = self.napi_budget_for(dev) as u32;
         if self.machine.trace.enabled() {
             self.machine.trace_event(TraceEvent::SoftirqDispatch {
                 kind: "napi_poll",
@@ -3126,12 +3376,12 @@ impl System {
     /// every device whose reap came in under weight (the ring is
     /// drained — classic `napi_complete`). Returns total frames reaped.
     fn napi_poll_pass(&mut self) -> Result<usize, SystemError> {
-        let weight = self.napi_weight;
-        let mut polled: Vec<(u32, usize)> = Vec::new();
+        let mut polled: Vec<(u32, usize, usize)> = Vec::new();
         for dev in 0..self.world.nics.len() as u32 {
             if self.poll_mode[dev as usize] {
+                let budget = self.napi_budget_for(dev);
                 let reaped = self.napi_poll_dev_reap(dev)?;
-                polled.push((dev, reaped));
+                polled.push((dev, reaped, budget));
             }
         }
         if polled.is_empty() {
@@ -3139,12 +3389,34 @@ impl System {
         }
         self.flush_deferred_upcalls()?;
         self.flush_guest_rx_queues()?;
-        for &(dev, reaped) in &polled {
-            if reaped < weight {
+        for &(dev, reaped, budget) in &polled {
+            if reaped < budget {
                 self.napi_rearm(dev)?;
             }
         }
-        Ok(polled.iter().map(|(_, r)| r).sum())
+        Ok(polled.iter().map(|(_, r, _)| r).sum())
+    }
+
+    /// The poll budget for `dev` this pass. Without the scheduler model
+    /// this is exactly [`SystemOptions::napi_weight`]. With it, polling
+    /// capacity weights toward devices whose guests can consume the
+    /// frames: a device whose softirq CPU hosts a running vCPU (or no
+    /// vCPU at all — an unscheduled device) polls at full weight, while
+    /// one whose CPU's vCPUs are all asleep drops to a quarter weight —
+    /// it still drains (livelock defence intact), but the budget the
+    /// sleeping guests cannot consume goes to devices that can.
+    fn napi_budget_for(&self, dev: u32) -> usize {
+        match self.sched.as_ref() {
+            Some(s) => {
+                let cpu = s.nic_cpu(dev);
+                if !s.cpu_has_vcpus(cpu) || s.cpu_has_running(cpu) {
+                    self.napi_weight
+                } else {
+                    (self.napi_weight / 4).max(1)
+                }
+            }
+            None => self.napi_weight,
+        }
     }
 
     /// Whether any device still owes poll work (is in poll mode).
@@ -3237,6 +3509,44 @@ impl System {
         }
         self.machine.map_fresh(gspace, GUEST_HEAP_BASE, 4)?;
         Ok(gid)
+    }
+
+    /// Registers a vCPU for `guest` on physical CPU `cpu` with a
+    /// periodic `run_cycles`-on / `sleep_cycles`-off schedule starting
+    /// now. Requires [`SystemOptions::sched`]; guests without a vCPU
+    /// stay always-running.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Build`] when the scheduler model is off.
+    pub fn sched_add_vcpu(
+        &mut self,
+        guest: DomId,
+        cpu: u32,
+        run_cycles: u64,
+        sleep_cycles: u64,
+    ) -> Result<(), SystemError> {
+        let now = self.machine.meter.now();
+        let sched = self
+            .sched
+            .as_mut()
+            .ok_or_else(|| SystemError::Build("sched model is not enabled".into()))?;
+        sched.add_vcpu(guest.0, cpu, run_cycles, sleep_cycles, now);
+        Ok(())
+    }
+
+    /// The scheduler model, when enabled (test/tool observability).
+    pub fn sched(&self) -> Option<&VcpuSched> {
+        self.sched.as_ref()
+    }
+
+    /// Overrides the softirq CPU of one device in the scheduler's
+    /// topology map (default `dev % num_cpus`). A no-op without the
+    /// scheduler model.
+    pub fn sched_set_nic_cpu(&mut self, dev: u32, cpu: u32) {
+        if let Some(s) = self.sched.as_mut() {
+            s.set_nic_cpu(dev, cpu);
+        }
     }
 
     /// Whether the zero-copy datapath is active.
@@ -3675,6 +3985,11 @@ impl System {
             .domains
             .iter()
             .filter(|d| !d.rx_queue.is_empty())
+            // Sleeping guests' quanta are skipped: their deficit does
+            // not grow, no virq is raised, and the frames stay queued
+            // until the wakeup edge releases them (bounded by the
+            // scheduler's wakeup timer, which idle stepping lands on).
+            .filter(|d| self.sched.as_ref().map_or(true, |s| s.is_running(d.id.0)))
             .map(|d| d.id)
             .collect();
         if guest_ids.is_empty() {
@@ -3727,6 +4042,22 @@ impl System {
             }
             for (i, f) in frames.into_iter().enumerate() {
                 let dev = self.rx_flow_dev.get(&f.flow).copied().unwrap_or(0);
+                // Warm vs cold delivery: with the scheduler model on, a
+                // frame serviced by a softirq CPU other than the one the
+                // owning guest's vCPU occupies finds none of the guest's
+                // receive path resident and pays the sTLB/cache refill
+                // slice. Affinity placement makes this charge vanish;
+                // oblivious policies pay it on most deliveries.
+                let cold = match self.sched.as_ref() {
+                    Some(s) => s.cpu_of(g.0).is_some_and(|cpu| s.nic_cpu(dev) != cpu),
+                    None => false,
+                };
+                if cold {
+                    let m = &mut self.machine;
+                    m.meter
+                        .charge_to(CostDomain::Xen, m.cost.cold_delivery_refill);
+                    m.meter.count_event("cold_delivery");
+                }
                 // Zero-copy: the twin driver posted a pool page for
                 // this slot, so delivery is a cached grant access
                 // instead of a copy into the guest.
@@ -4037,8 +4368,9 @@ impl System {
     /// draining so a phase's settle span flows straight into its
     /// measured span. `balanced_flows` swaps the classic generator's
     /// flow ids for the device-balanced set
-    /// ([`System::BALANCED_FLOW_BASE`]); sequence numbers still come
-    /// from the shared counter, so `(flow, seq)` keys stay unique.
+    /// ([`crate::measure::balanced_flow_set`], two flows per device);
+    /// sequence numbers still come from the shared counter, so
+    /// `(flow, seq)` keys stay unique.
     fn paced_rx_inject(
         &mut self,
         burst: usize,
@@ -4046,6 +4378,11 @@ impl System {
         gap_cycles: u64,
         balanced_flows: bool,
     ) -> Result<u64, SystemError> {
+        let balanced = if balanced_flows {
+            crate::measure::balanced_flow_set(self.world.nics.len() as u32, 2)
+        } else {
+            Vec::new()
+        };
         let t0 = self.machine.meter.now();
         let mut injected = 0u64;
         let mut round = 0u64;
@@ -4059,8 +4396,8 @@ impl System {
             let frames: Vec<Frame> = (0..n)
                 .map(|_| {
                     let mut f = self.next_rx_frame();
-                    if balanced_flows {
-                        f.flow = Self::BALANCED_FLOW_BASE + (f.seq % Self::GEN_FLOWS) as u32;
+                    if !balanced.is_empty() {
+                        f.flow = balanced[(f.seq % balanced.len() as u64) as usize];
                     }
                     f
                 })

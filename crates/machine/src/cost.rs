@@ -91,6 +91,13 @@ pub struct CostParams {
     /// the paper identifies as the dominant overhead of the hosted model
     /// (§2, citing [12]).
     pub domain_switch: u64,
+    /// Cold-delivery refill: the extra sTLB/cache warm-up paid when a
+    /// frame is delivered by a NIC softirq running on a different
+    /// physical CPU than the owning guest's vCPU (or while the guest
+    /// sleeps), so none of the guest's receive path is resident. The
+    /// cache-local slice of the same refill tax `domain_switch` models;
+    /// charged only when the scheduler model is enabled.
+    pub cold_delivery_refill: u64,
     /// Hypercall entry/exit (guest → hypervisor → guest, no space switch).
     pub hypercall: u64,
     /// Delivering a virtual interrupt/event to a domain.
@@ -224,6 +231,7 @@ impl Default for CostParams {
             mmio_read: 250,
             mmio_write: 100,
             domain_switch: 2800,
+            cold_delivery_refill: 3400,
             hypercall: 700,
             virq_deliver: 450,
             grant_map: 1050,

@@ -83,6 +83,10 @@ fn event_tid(ev: &TraceEvent) -> u64 {
         | TraceEvent::GrantCacheMiss { dom, .. }
         | TraceEvent::GrantCacheEvict { dom, .. }
         | TraceEvent::GrantCacheRevoke { dom, .. } => 1000 + *dom as u64,
+        TraceEvent::VcpuRun { guest, .. }
+        | TraceEvent::VcpuSleep { guest, .. }
+        | TraceEvent::AffinityPlace { guest, .. }
+        | TraceEvent::AffinityMigrate { guest, .. } => 1000 + *guest as u64,
         TraceEvent::UpcallEnqueue { .. }
         | TraceEvent::UpcallFlush { .. }
         | TraceEvent::UpcallCompletion { .. }
@@ -160,6 +164,20 @@ fn event_args(ev: &TraceEvent) -> String {
             replayed,
             dropped,
         } => format!("{{\"dev\": {dev}, \"replayed\": {replayed}, \"dropped\": {dropped}}}"),
+        TraceEvent::VcpuRun { guest, cpu } | TraceEvent::VcpuSleep { guest, cpu } => {
+            format!("{{\"guest\": {guest}, \"cpu\": {cpu}}}")
+        }
+        TraceEvent::AffinityPlace { guest, flow, dev } => {
+            format!("{{\"guest\": {guest}, \"flow\": {flow}, \"dev\": {dev}}}")
+        }
+        TraceEvent::AffinityMigrate {
+            guest,
+            flow,
+            from_dev,
+            to_dev,
+        } => format!(
+            "{{\"guest\": {guest}, \"flow\": {flow}, \"from_dev\": {from_dev}, \"to_dev\": {to_dev}}}"
+        ),
     }
 }
 

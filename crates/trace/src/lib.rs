@@ -245,6 +245,43 @@ pub enum TraceEvent {
         /// Deferred upcalls discarded plus in-flight frames lost.
         dropped: u32,
     },
+    /// A guest's vCPU began a run interval (scheduler model).
+    VcpuRun {
+        /// Guest whose vCPU woke.
+        guest: u32,
+        /// Physical CPU the vCPU runs on.
+        cpu: u32,
+    },
+    /// A guest's vCPU went to sleep; its flows' deliveries defer to the
+    /// next [`TraceEvent::VcpuRun`].
+    VcpuSleep {
+        /// Guest whose vCPU slept.
+        guest: u32,
+        /// Physical CPU the vCPU was running on.
+        cpu: u32,
+    },
+    /// The affinity shard policy placed a flow on the NIC whose softirq
+    /// CPU matches the owning guest's vCPU.
+    AffinityPlace {
+        /// Owning guest.
+        guest: u32,
+        /// Placed flow id.
+        flow: u32,
+        /// Device the flow was pinned to.
+        dev: u32,
+    },
+    /// The scheduler moved a guest and (after hysteresis, with the old
+    /// ring drained) its flow followed to the now-local NIC.
+    AffinityMigrate {
+        /// Owning guest.
+        guest: u32,
+        /// Migrated flow id.
+        flow: u32,
+        /// Device the flow left.
+        from_dev: u32,
+        /// Device the flow now lands on.
+        to_dev: u32,
+    },
 }
 
 impl TraceEvent {
@@ -276,6 +313,10 @@ impl TraceEvent {
             TraceEvent::QuarantineExit { .. } => "quarantine_exit",
             TraceEvent::DeviceReset { .. } => "device_reset",
             TraceEvent::InflightAccounted { .. } => "inflight_accounted",
+            TraceEvent::VcpuRun { .. } => "vcpu_run",
+            TraceEvent::VcpuSleep { .. } => "vcpu_sleep",
+            TraceEvent::AffinityPlace { .. } => "affinity_place",
+            TraceEvent::AffinityMigrate { .. } => "affinity_migrate",
         }
     }
 }

@@ -2,8 +2,9 @@
 //! receive overload, rendered **entirely from metrics-registry deltas**.
 //!
 //! The harness replays the livelock sweep's controlled configuration
-//! (4 NICs, flow-hash sharding, budgeted NAPI, DRR guest weights,
-//! admission watermark) against an open-loop flood at a chosen multiple
+//! (4 NICs, scheduler-aware affinity sharding, budgeted NAPI, DRR guest
+//! weights, admission watermark) with a vCPU run/sleep schedule per
+//! guest, against an open-loop flood at a chosen multiple
 //! of the calibrated knee, and at every interval boundary takes one
 //! [`System::metrics`] snapshot. Each table below is computed from
 //! `snapshot.delta_since(&previous)` alone — no reaching into
@@ -20,8 +21,9 @@
 //! trace and final metrics snapshot for the whole replay.
 
 use twindrivers::net::{wire_bits, EtherType, Frame, MacAddr, MTU};
+use twindrivers::system::DomId;
 use twindrivers::trace::MetricSet;
-use twindrivers::{Config, ShardPolicy, System, SystemOptions, CPU_HZ};
+use twindrivers::{Config, SchedOptions, ShardPolicy, System, SystemOptions, CPU_HZ};
 
 const NICS: usize = 4;
 const BURST: usize = 32;
@@ -37,7 +39,11 @@ const BURSTS_PER_INTERVAL: u64 = 40;
 fn build() -> Result<System, Box<dyn std::error::Error>> {
     let opts = SystemOptions {
         num_nics: NICS,
-        shard: ShardPolicy::FlowHash,
+        shard: ShardPolicy::Affinity,
+        sched: Some(SchedOptions {
+            num_cpus: NICS as u32,
+            ..SchedOptions::default()
+        }),
         rx_queue_cap: Some(QUEUE_CAP),
         napi_weight: NAPI_WEIGHT,
         rx_backlog_watermark: Some(WATERMARK),
@@ -49,6 +55,12 @@ fn build() -> Result<System, Box<dyn std::error::Error>> {
     let mut sys = System::build_with(Config::TwinDrivers, &opts)?;
     sys.add_guest(MacAddr::for_guest(2))?;
     sys.add_guest(MacAddr::for_guest(3))?;
+    // The flood guest's vCPU never sleeps; the victims run partial duty
+    // cycles, so the scheduler columns show deferral and placement at
+    // work (run%, placements, migrations).
+    sys.sched_add_vcpu(DomId(1), 0, 1_000_000, 0)?;
+    sys.sched_add_vcpu(DomId(2), 1, 400_000, 200_000)?;
+    sys.sched_add_vcpu(DomId(3), 2, 300_000, 300_000)?;
     Ok(sys)
 }
 
@@ -110,16 +122,20 @@ fn render_interval(n: usize, d: &MetricSet) {
         );
     }
     println!(
-        "  {:<6} {:>10} {:>9} {:>11} {:>11}",
-        "guest", "goodput", "delivered", "early_drops", "queue_drops"
+        "  {:<6} {:>10} {:>9} {:>11} {:>11} {:>6} {:>7} {:>5}",
+        "guest", "goodput", "delivered", "early_drops", "queue_drops", "run%", "placed", "migr"
     );
     for g in ids_with_prefix(d, "guest") {
         let delivered = d.counter(&format!("guest{g}.delivered"));
         let mbps = delivered as f64 * wire_bits(MTU) as f64 / (span as f64 / CPU_HZ) / 1e6;
+        let run = d.counter(&format!("sched.guest{g}.run_cycles"));
         println!(
-            "  dom{g:<3} {mbps:>6.0} Mb/s {delivered:>9} {:>11} {:>11}",
+            "  dom{g:<3} {mbps:>6.0} Mb/s {delivered:>9} {:>11} {:>11} {:>5.0}% {:>7} {:>5}",
             d.counter(&format!("guest{g}.early_drops")),
             d.counter(&format!("guest{g}.queue_drops")),
+            run as f64 / span.max(1) as f64 * 100.0,
+            d.counter(&format!("sched.guest{g}.placements")),
+            d.counter(&format!("sched.guest{g}.migrations")),
         );
     }
     let (hits, misses) = (d.counter("grantcache.hits"), d.counter("grantcache.misses"));

@@ -1,0 +1,287 @@
+//! Scheduler-aware flow affinity: the vCPU run/sleep model and the
+//! `ShardPolicy::Affinity` placement it drives.
+//!
+//! * **scheduler-off equivalence** — with no scheduler model built,
+//!   `Affinity` is *cycle-exact* with `FlowHash`: same placement, same
+//!   charged cycles, same deliveries (the default-off guarantee that
+//!   keeps every committed baseline bit-exact);
+//! * **warm placement** — with an adversarial vCPU pinning (every
+//!   guest one CPU away from its flow's hash-chosen NIC), `Affinity`
+//!   eliminates the cold-delivery refill entirely while `FlowHash`
+//!   pays it on every frame;
+//! * **migration order** — when vCPUs migrate across CPUs, flows
+//!   follow (hysteresis- and drain-gated) without ever reordering a
+//!   (guest, flow) sequence;
+//! * **sleep deferral** — a sleeping guest's frames are queued, not
+//!   delivered, and flush at the wakeup edge the scheduler predicted;
+//! * **poll-budget weighting** — a NAPI poll pass spends its budget on
+//!   devices whose CPUs have runnable guests, so a sleeping guest's
+//!   device takes strictly more (smaller) polls for the same backlog.
+
+use twindrivers::measure::Breakdown;
+use twindrivers::net::{EtherType, Frame, MacAddr, MTU};
+use twindrivers::system::DomId;
+use twindrivers::{peer_mac, Config, SchedOptions, ShardPolicy, System, SystemOptions};
+
+const NICS: usize = 4;
+const CPUS: u32 = 4;
+
+fn rx_frame(dst: MacAddr, flow: u32, seq: u64) -> Frame {
+    Frame {
+        dst,
+        src: peer_mac(),
+        ethertype: EtherType::Ipv4,
+        payload_len: MTU,
+        flow,
+        seq,
+    }
+}
+
+fn hash_dev(flow: u32) -> u32 {
+    (flow.wrapping_mul(2_654_435_761) >> 16) % NICS as u32
+}
+
+/// A flow whose hash lands on `dev`, scanning up from `base`.
+fn flow_for(dev: u32, base: u32) -> u32 {
+    (base..).find(|&f| hash_dev(f) == dev).unwrap()
+}
+
+fn build(shard: ShardPolicy, sched: Option<SchedOptions>) -> System {
+    System::build_with(
+        Config::TwinDrivers,
+        &SystemOptions {
+            num_nics: NICS,
+            shard,
+            sched,
+            ..SystemOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+fn sched_opts() -> SchedOptions {
+    SchedOptions {
+        num_cpus: CPUS,
+        ..SchedOptions::default()
+    }
+}
+
+/// With the scheduler model off, `Affinity` *is* `FlowHash`: identical
+/// placement and identical charged cycles on identical traffic — the
+/// default-off guarantee behind every committed bit-exact baseline.
+#[test]
+fn affinity_without_sched_is_cycle_exact_flowhash() {
+    let mut fh = build(ShardPolicy::FlowHash, None);
+    let mut af = build(ShardPolicy::Affinity, None);
+    let mac2 = MacAddr::for_guest(2);
+    for sys in [&mut fh, &mut af] {
+        sys.add_guest(mac2).unwrap();
+        for k in 0..6u64 {
+            assert_eq!(sys.transmit_burst(5).unwrap(), 5);
+            let frames: Vec<Frame> = (0..16u32)
+                .map(|i| {
+                    let dst = if i % 2 == 0 {
+                        MacAddr::for_guest(1)
+                    } else {
+                        mac2
+                    };
+                    rx_frame(dst, 300 + (i % 5), k * 16 + u64::from(i))
+                })
+                .collect();
+            assert_eq!(sys.receive_burst(&frames).unwrap(), frames.len());
+        }
+    }
+    assert_eq!(
+        fh.machine.meter.now(),
+        af.machine.meter.now(),
+        "affinity with no scheduler must charge exactly flow-hash cycles"
+    );
+    assert_eq!(fh.take_wire_frames(), af.take_wire_frames());
+    let fxen = fh.world.xen.as_ref().unwrap();
+    let axen = af.world.xen.as_ref().unwrap();
+    for g in 1..3usize {
+        assert_eq!(
+            fxen.domains[g].rx_delivered, axen.domains[g].rx_delivered,
+            "guest {g} deliveries"
+        );
+    }
+}
+
+/// The scheduler model is a TwinDrivers-configuration feature; the
+/// unoptimised configurations must refuse it loudly.
+#[test]
+fn sched_requires_twindrivers_config() {
+    let err = System::build_with(
+        Config::XenGuest,
+        &SystemOptions {
+            num_nics: NICS,
+            sched: Some(sched_opts()),
+            ..SystemOptions::default()
+        },
+    );
+    assert!(err.is_err(), "sched on domU must fail to build");
+}
+
+/// Adversarial pinning (each guest one CPU away from its flow's
+/// hash-chosen NIC): `FlowHash` pays the cold refill on every frame,
+/// `Affinity` re-places the flow on a vCPU-local NIC and pays none —
+/// and says so in placements, metrics and cycles.
+#[test]
+fn placement_follows_vcpu_and_eliminates_cold_refills() {
+    let flow = flow_for(2, 500);
+    let cpu = (hash_dev(flow) + 1) % CPUS;
+    let frames: Vec<Frame> = (0..24u64)
+        .map(|s| rx_frame(MacAddr::for_guest(1), flow, s))
+        .collect();
+    let mut cold_cycles = 0;
+    let mut warm_cycles = 0;
+    for (shard, expect_cold) in [(ShardPolicy::FlowHash, 24), (ShardPolicy::Affinity, 0)] {
+        let mut sys = build(shard, Some(sched_opts()));
+        sys.sched_add_vcpu(DomId(1), cpu, 1_000_000, 0).unwrap();
+        assert_eq!(sys.receive_burst(&frames).unwrap(), frames.len());
+        let b = Breakdown::from_meter(&sys.machine.meter, 1);
+        let cold = b.events.get("cold_delivery").copied().unwrap_or(0);
+        assert_eq!(cold, expect_cold, "{shard:?} cold deliveries");
+        assert_eq!(sys.delivered_rx_for(DomId(1)), frames.len());
+        if shard == ShardPolicy::Affinity {
+            warm_cycles = sys.machine.meter.now();
+            let ms = sys.metrics();
+            assert_eq!(ms.counter("sched.placements"), 1, "one flow placed once");
+            assert_eq!(ms.counter("sched.guest1.placements"), 1);
+            assert_eq!(ms.counter("sched.guest1.cpu"), u64::from(cpu));
+            assert_eq!(ms.counter("sched.guest1.running"), 1);
+        } else {
+            cold_cycles = sys.machine.meter.now();
+        }
+    }
+    assert!(
+        warm_cycles < cold_cycles,
+        "warm placement must be cheaper: {warm_cycles} vs {cold_cycles}"
+    );
+}
+
+/// vCPU migration drags flows along (hysteresis- and ring-drain-gated)
+/// and never reorders a flow: every frame still arrives, in sequence.
+#[test]
+fn migration_preserves_per_flow_order() {
+    let mut sys = build(
+        ShardPolicy::Affinity,
+        Some(SchedOptions {
+            num_cpus: CPUS,
+            migrate_period: 1,
+            affinity_hysteresis: 0,
+        }),
+    );
+    let flow = flow_for(0, 700);
+    sys.sched_add_vcpu(DomId(1), 0, 100_000, 100_000).unwrap();
+    let mut seq = 0u64;
+    for _ in 0..12 {
+        let frames: Vec<Frame> = (0..8)
+            .map(|_| {
+                let f = rx_frame(MacAddr::for_guest(1), flow, seq);
+                seq += 1;
+                f
+            })
+            .collect();
+        assert_eq!(sys.receive_burst(&frames).unwrap(), frames.len());
+        // Cross at least one run/sleep period so the vCPU wakes on a
+        // new CPU and the flow must follow it.
+        sys.run_idle(250_000).unwrap();
+    }
+    let ms = sys.metrics();
+    assert!(
+        ms.counter("sched.migrations") >= 1,
+        "the migrating vCPU must drag its flow at least once"
+    );
+    assert_eq!(sys.delivered_rx_for(DomId(1)), seq as usize);
+    let xen = sys.world.xen.as_ref().unwrap();
+    let seqs: Vec<u64> = xen.domains[1]
+        .rx_delivered
+        .iter()
+        .filter(|f| f.flow == flow)
+        .map(|f| f.seq)
+        .collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "migration reordered the flow: {seqs:?}"
+    );
+}
+
+/// A sleeping guest's frames park in its queue and flush exactly at
+/// the wakeup edge the scheduler predicted — deferred, never dropped.
+#[test]
+fn sleeping_guest_defers_until_wakeup() {
+    let mut sys = build(ShardPolicy::Affinity, Some(sched_opts()));
+    // Runs 100k cycles, then sleeps 2M: plenty of room to land a burst
+    // mid-sleep without the burst's own charges crossing the edge.
+    sys.sched_add_vcpu(DomId(1), 0, 100_000, 2_000_000).unwrap();
+    sys.run_idle(150_000).unwrap();
+    assert!(
+        !sys.sched().unwrap().is_running(1),
+        "guest must be asleep after its run phase"
+    );
+    let frames: Vec<Frame> = (0..8u64)
+        .map(|s| rx_frame(MacAddr::for_guest(1), 900, s))
+        .collect();
+    assert_eq!(sys.receive_burst(&frames).unwrap(), frames.len());
+    assert_eq!(
+        sys.delivered_rx_for(DomId(1)),
+        0,
+        "frames for a sleeping guest must defer, not deliver"
+    );
+    let queued = sys.world.xen.as_ref().unwrap().domains[1].rx_queue.len();
+    assert_eq!(queued, frames.len(), "deferred frames parked in the queue");
+    let wake = sys.sched().unwrap().next_wakeup(1).expect("wakeup armed");
+    let now = sys.machine.meter.now();
+    assert!(wake > now, "wakeup is in the future");
+    sys.run_idle(wake - now + 50_000).unwrap();
+    assert_eq!(
+        sys.delivered_rx_for(DomId(1)),
+        frames.len(),
+        "the wakeup edge flushes the deferred backlog"
+    );
+    assert!(sys.world.xen.as_ref().unwrap().domains[1]
+        .rx_queue
+        .is_empty());
+}
+
+/// NAPI budgets follow the scheduler: the same ring backlog takes
+/// strictly more poll passes when the device's CPU has only sleeping
+/// guests, because each pass's reap budget is cut to a quarter.
+#[test]
+fn poll_budget_weights_toward_running_guests() {
+    let flow = flow_for(0, 800); // NIC 0 → softirq CPU 0
+    let mut polls = Vec::new();
+    for running in [true, false] {
+        let mut sys = System::build_with(
+            Config::TwinDrivers,
+            &SystemOptions {
+                num_nics: NICS,
+                shard: ShardPolicy::FlowHash,
+                napi_weight: 8,
+                sched: Some(sched_opts()),
+                ..SystemOptions::default()
+            },
+        )
+        .unwrap();
+        // Degenerate schedules: always running vs always sleeping, so
+        // the only difference between the two runs is the poll budget.
+        let (run, sleep) = if running {
+            (1_000_000, 0)
+        } else {
+            (0, 1_000_000)
+        };
+        sys.sched_add_vcpu(DomId(1), 0, run, sleep).unwrap();
+        let frames: Vec<Frame> = (0..32u64)
+            .map(|s| rx_frame(MacAddr::for_guest(1), flow, s))
+            .collect();
+        assert_eq!(sys.receive_burst(&frames).unwrap(), frames.len());
+        sys.run_idle(500_000).unwrap();
+        let b = Breakdown::from_meter(&sys.machine.meter, 1);
+        polls.push(b.events.get("napi_poll").copied().unwrap_or(0));
+    }
+    assert!(
+        polls[1] > polls[0],
+        "a sleeping guest's device must take more, smaller polls: {polls:?}"
+    );
+}
